@@ -1,0 +1,723 @@
+//! Floyd-Warshall — blocked all-pairs shortest paths with two-version
+//! data blocks.
+//!
+//! The classic Gauss-Seidel blocked FW: round `k` first updates the
+//! diagonal tile `(k,k)`, then row-`k` and column-`k` tiles against the
+//! fresh diagonal, then every remaining tile against the fresh row/column
+//! tiles. Task `(k,i,j)` produces **version `k+1`** of block `(i,j)`
+//! (version 0 is the pinned, resilient input).
+//!
+//! Following Section VI, "we adapted the implementation to retain two
+//! versions per data block, doubling the memory requirement, to minimize
+//! the impact of cascading recomputation" — retention is `KeepLast(2)`
+//! by default; [`Fw::with_single_version`] builds the one-version ablation
+//! (longer recovery chains, the configuration the paper moved away from).
+//!
+//! ## Anti-dependence edges
+//!
+//! Publishing version `k+1` of block `(i,j)` evicts version `k+1−keep`.
+//! The evicted version's remaining readers are the round-`k−keep` tasks
+//! that read row/column `k−keep` blocks, so tasks in tile row/column
+//! `k−keep` carry an extra predecessor row/column (≈`2·nb²` edges per
+//! round). These are the edges that reconcile our edge count with the
+//! paper's Table I figure for FW (E = 308,880 at nb = 40: ~187k data-flow
+//! edges + ~122k anti edges).
+
+use crate::common::{keys, AppConfig, BenchApp, VerifyOutcome, VersionClass};
+use nabbit_ft::blocks::{BlockError, BlockStore, Retention};
+use nabbit_ft::fault::Fault;
+use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+use std::sync::Arc;
+
+/// Blocked Floyd-Warshall benchmark instance.
+pub struct Fw {
+    cfg: AppConfig,
+    /// Retained versions per block (2 = paper configuration, 1 = ablation).
+    keep: usize,
+    /// First round this instance executes (0 for a fresh run; > 0 when
+    /// resumed from a checkpoint snapshot — the checkpointing complement
+    /// the paper's related-work section positions against).
+    first_round: usize,
+    /// Last round this instance executes (defaults to nb − 1).
+    last_round: usize,
+    store: BlockStore<f64>,
+}
+
+impl Fw {
+    /// Paper configuration: two versions per block.
+    pub fn new(cfg: AppConfig) -> Self {
+        Self::with_keep(cfg, 2)
+    }
+
+    /// Ablation configuration: a single version per block (plain reuse,
+    /// maximal cascading recomputation on recovery).
+    pub fn with_single_version(cfg: AppConfig) -> Self {
+        Self::with_keep(cfg, 1)
+    }
+
+    /// Single-assignment configuration: every version retained (the other
+    /// strategy Section VI evaluates — no anti-dependence edges, no
+    /// eviction, recovery never cascades; memory grows with the round
+    /// count).
+    pub fn single_assignment(cfg: AppConfig) -> Self {
+        Self::with_keep(cfg, 0)
+    }
+
+    fn with_keep(cfg: AppConfig, keep: usize) -> Self {
+        assert!(keep <= 2, "keep must be 0 (keep-all), 1 or 2");
+        let nb = cfg.nb();
+        let retention = if keep == 0 {
+            Retention::KeepAll
+        } else {
+            Retention::KeepLast(keep as u64)
+        };
+        let store = BlockStore::new(nb * nb, retention);
+        let dist = crate::common::random_matrix(cfg.n, 1.0, 10.0, cfg.seed);
+        let mut dist = dist;
+        for d in 0..cfg.n {
+            dist[d * cfg.n + d] = 0.0;
+        }
+        for ti in 0..nb {
+            for tj in 0..nb {
+                let tile = crate::common::extract_tile(&dist, cfg.n, cfg.b, ti, tj);
+                store.publish_pinned(ti * nb + tj, 0, tile);
+            }
+        }
+        let last_round = nb - 1;
+        Fw {
+            cfg,
+            keep,
+            first_round: 0,
+            last_round,
+            store,
+        }
+    }
+
+    /// Resume from a checkpoint: `tiles[bid]` is the state of each block
+    /// *entering* round `first_round` (as returned by
+    /// [`Fw::snapshot_tiles`] on an instance that ran the earlier rounds).
+    /// The restored state is pinned (resilient), exactly like fresh inputs.
+    pub fn resumed(cfg: AppConfig, first_round: usize, tiles: Vec<Vec<f64>>) -> Self {
+        let nb = cfg.nb();
+        assert!(first_round < nb, "first_round {first_round} out of range");
+        assert_eq!(tiles.len(), nb * nb, "one tile per block");
+        let store = BlockStore::new(nb * nb, Retention::KeepLast(2));
+        for (bid, tile) in tiles.into_iter().enumerate() {
+            assert_eq!(tile.len(), cfg.b * cfg.b, "tile {bid} has wrong shape");
+            store.publish_pinned(bid, first_round as u64, tile);
+        }
+        Fw {
+            cfg,
+            keep: 2,
+            first_round,
+            last_round: nb - 1,
+            store,
+        }
+    }
+
+    /// Snapshot the state entering `round`: version `round` of every block.
+    /// Valid while those versions are resident (run the instance only up to
+    /// round `round − 1`, or snapshot promptly under `KeepLast(2)`).
+    /// Returns `None` if any needed version has been evicted or poisoned.
+    pub fn snapshot_tiles(&self, round: usize) -> Option<Vec<Vec<f64>>> {
+        let nb = self.nb();
+        let mut out = Vec::with_capacity(nb * nb);
+        for bid in 0..nb * nb {
+            out.push(self.store.read(bid, round as u64).ok()?.as_ref().clone());
+        }
+        Some(out)
+    }
+
+    /// Build an instance that only executes rounds `0..=last_round` (for
+    /// producing checkpoints). Retention must keep the final versions:
+    /// the run ends with every block at version `last_round + 1`.
+    pub fn prefix(cfg: AppConfig, last_round: usize) -> Self {
+        let mut fw = Self::with_keep(cfg, 2);
+        assert!(last_round < cfg.nb());
+        fw.last_round = last_round;
+        fw
+    }
+
+    fn nb(&self) -> usize {
+        self.cfg.nb()
+    }
+
+    fn bid(&self, i: usize, j: usize) -> usize {
+        i * self.nb() + j
+    }
+
+    fn key(k: usize, i: usize, j: usize) -> Key {
+        keys::encode(0, k, i, j)
+    }
+
+    /// Read a final-round tile (version `last_round + 1`). `None` before
+    /// completion.
+    pub fn final_tile(&self, i: usize, j: usize) -> Option<Arc<Vec<f64>>> {
+        self.store
+            .read(self.bid(i, j), (self.last_round + 1) as u64)
+            .ok()
+    }
+
+    /// Independent reference: unblocked Floyd-Warshall on the same input.
+    pub fn reference(&self) -> Vec<f64> {
+        let n = self.cfg.n;
+        let mut d = crate::common::random_matrix(n, 1.0, 10.0, self.cfg.seed);
+        for x in 0..n {
+            d[x * n + x] = 0.0;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                let dik = d[i * n + k];
+                for j in 0..n {
+                    let via = dik + d[k * n + j];
+                    if via < d[i * n + j] {
+                        d[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        d
+    }
+}
+
+impl TaskGraph for Fw {
+    fn sink(&self) -> Key {
+        // Artificial convention: the final task to complete transitively is
+        // the last round's diagonal-last tile. All round-(nb-1) tasks feed
+        // into it transitively? They do not — so we use a dedicated sink:
+        // task (nb-1, nb-1, nb-1) does NOT depend on every (nb-1,i,j).
+        // Instead we add a synthetic sink task with tag 1 depending on every
+        // round-(nb-1) task.
+        keys::encode(1, 0, 0, 0)
+    }
+
+    fn predecessors(&self, key: Key) -> Vec<Key> {
+        let (tag, k, i, j) = keys::decode(key);
+        let nb = self.nb();
+        if tag == 1 {
+            // Synthetic sink: depends on every last-round task.
+            let k = self.last_round;
+            return (0..nb)
+                .flat_map(|i| (0..nb).map(move |j| Self::key(k, i, j)))
+                .collect();
+        }
+        let mut p = Vec::new();
+        let base = self.first_round;
+        // Data-flow predecessors (round `base` reads pinned restored state).
+        if i == k && j == k {
+            if k > base {
+                p.push(Self::key(k - 1, k, k));
+            }
+        } else if i == k {
+            p.push(Self::key(k, k, k));
+            if k > base {
+                p.push(Self::key(k - 1, k, j));
+            }
+        } else if j == k {
+            p.push(Self::key(k, k, k));
+            if k > base {
+                p.push(Self::key(k - 1, i, k));
+            }
+        } else {
+            p.push(Self::key(k, i, k));
+            p.push(Self::key(k, k, j));
+            if k > base {
+                p.push(Self::key(k - 1, i, j));
+            }
+        }
+        // Anti-dependence predecessors: we evict version (k+1) − keep of
+        // block (i,j); its round-(k−keep) readers must have finished.
+        // (Single-assignment — keep == 0 — never evicts, so no anti edges.)
+        if self.keep > 0 && k >= base + self.keep {
+            let kr = k - self.keep; // reader round
+            if i == kr {
+                for r in 0..nb {
+                    let q = Self::key(kr, r, j);
+                    if !p.contains(&q) {
+                        p.push(q);
+                    }
+                }
+            }
+            if j == kr {
+                for c in 0..nb {
+                    let q = Self::key(kr, i, c);
+                    if !p.contains(&q) {
+                        p.push(q);
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    fn successors(&self, key: Key) -> Vec<Key> {
+        let (tag, k, i, j) = keys::decode(key);
+        let nb = self.nb();
+        if tag == 1 {
+            return vec![];
+        }
+        let mut s = Vec::new();
+        // Data-flow successors.
+        if i == k && j == k {
+            for j2 in 0..nb {
+                if j2 != k {
+                    s.push(Self::key(k, k, j2));
+                }
+            }
+            for i2 in 0..nb {
+                if i2 != k {
+                    s.push(Self::key(k, i2, k));
+                }
+            }
+        } else if i == k {
+            // Row tile (k, j): read by every rest task in column j.
+            for i2 in 0..nb {
+                if i2 != k {
+                    s.push(Self::key(k, i2, j));
+                }
+            }
+        } else if j == k {
+            for j2 in 0..nb {
+                if j2 != k {
+                    s.push(Self::key(k, i, j2));
+                }
+            }
+        }
+        if k + 1 <= self.last_round {
+            let q = Self::key(k + 1, i, j);
+            if !s.contains(&q) {
+                s.push(q);
+            }
+        } else {
+            s.push(keys::encode(1, 0, 0, 0));
+        }
+        // Anti-dependence successors: we are a round-k task reading
+        // row/col-k blocks; the evictors at round k + keep in our row or
+        // column depend on us.
+        let ke = k + self.keep; // evictor round
+        if self.keep > 0 && ke <= self.last_round {
+            let q = Self::key(ke, k, j);
+            if !s.contains(&q) {
+                s.push(q);
+            }
+            let q = Self::key(ke, i, k);
+            if !s.contains(&q) {
+                s.push(q);
+            }
+        }
+        s
+    }
+
+    fn compute(&self, key: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+        let (tag, k, i, j) = keys::decode(key);
+        if tag == 1 {
+            return Ok(()); // synthetic sink does no work
+        }
+        let b = self.cfg.b;
+        let v = k as u64; // input version
+        let read = |bi: usize, bj: usize, ver: u64| {
+            self.store
+                .read(self.bid(bi, bj), ver)
+                .map_err(|e| e.into_fault())
+        };
+
+        let out: Vec<f64> = if i == k && j == k {
+            // Diagonal: in-tile FW.
+            let mut d = read(k, k, v)?.as_ref().clone();
+            for t in 0..b {
+                for u in 0..b {
+                    let dut = d[u * b + t];
+                    for w in 0..b {
+                        let via = dut + d[t * b + w];
+                        if via < d[u * b + w] {
+                            d[u * b + w] = via;
+                        }
+                    }
+                }
+            }
+            d
+        } else if i == k {
+            // Row tile: B = min(B, D · B) with fresh diagonal D.
+            let mut m = read(k, j, v)?.as_ref().clone();
+            let d = read(k, k, v + 1)?;
+            for t in 0..b {
+                for u in 0..b {
+                    let dut = d[u * b + t];
+                    for w in 0..b {
+                        let via = dut + m[t * b + w];
+                        if via < m[u * b + w] {
+                            m[u * b + w] = via;
+                        }
+                    }
+                }
+            }
+            m
+        } else if j == k {
+            // Column tile: A = min(A, A · D).
+            let mut m = read(i, k, v)?.as_ref().clone();
+            let d = read(k, k, v + 1)?;
+            for t in 0..b {
+                for u in 0..b {
+                    let aut = m[u * b + t];
+                    for w in 0..b {
+                        let via = aut + d[t * b + w];
+                        if via < m[u * b + w] {
+                            m[u * b + w] = via;
+                        }
+                    }
+                }
+            }
+            m
+        } else {
+            // Rest tile: C = min(C, A_row · B_col) with fresh row/col tiles.
+            let mut c = read(i, j, v)?.as_ref().clone();
+            let a = read(i, k, v + 1)?;
+            let rb = read(k, j, v + 1)?;
+            for t in 0..b {
+                for u in 0..b {
+                    let aut = a[u * b + t];
+                    for w in 0..b {
+                        let via = aut + rb[t * b + w];
+                        if via < c[u * b + w] {
+                            c[u * b + w] = via;
+                        }
+                    }
+                }
+            }
+            c
+        };
+        self.store.publish(self.bid(i, j), v + 1, key, out);
+        Ok(())
+    }
+
+    fn poison_outputs(&self, key: Key) {
+        let (tag, k, i, j) = keys::decode(key);
+        if tag == 0 {
+            self.store.poison(self.bid(i, j), (k + 1) as u64);
+        }
+    }
+}
+
+impl BenchApp for Fw {
+    fn name(&self) -> &'static str {
+        "FW"
+    }
+
+    fn config(&self) -> AppConfig {
+        self.cfg
+    }
+
+    fn all_tasks(&self) -> Vec<Key> {
+        let nb = self.nb();
+        let mut v: Vec<Key> = (self.first_round..=self.last_round)
+            .flat_map(|k| (0..nb).flat_map(move |i| (0..nb).map(move |j| Self::key(k, i, j))))
+            .collect();
+        v.push(self.sink());
+        v
+    }
+
+    fn tasks_of_class(&self, class: VersionClass) -> Vec<Key> {
+        let nb = self.nb();
+        let round = |k: usize| -> Vec<Key> {
+            (0..nb)
+                .flat_map(|i| (0..nb).map(move |j| Self::key(k, i, j)))
+                .collect()
+        };
+        let _ = nb;
+        match class {
+            VersionClass::First => round(self.first_round),
+            VersionClass::Last => round(self.last_round),
+            VersionClass::Rand => {
+                let mut v = Vec::new();
+                for k in self.first_round..=self.last_round {
+                    v.extend(round(k));
+                }
+                v
+            }
+        }
+    }
+
+    fn verify_detailed(&self) -> Result<VerifyOutcome, String> {
+        assert!(
+            self.first_round == 0 && self.last_round == self.nb() - 1,
+            "verify() is defined for full runs; compare resumed runs \
+             tile-by-tile against a full run instead"
+        );
+        let reference = self.reference();
+        let nb = self.nb();
+        let b = self.cfg.b;
+        let mut checked = 0;
+        let mut skipped = 0;
+        for ti in 0..nb {
+            for tj in 0..nb {
+                match self.store.read(self.bid(ti, tj), nb as u64) {
+                    Ok(got) => {
+                        let want = crate::common::extract_tile(&reference, self.cfg.n, b, ti, tj);
+                        let diff = crate::common::max_abs_diff(&got, &want);
+                        if diff > 1e-9 {
+                            return Err(format!("tile ({ti},{tj}) differs by {diff}"));
+                        }
+                        checked += 1;
+                    }
+                    Err(BlockError::Poisoned { .. }) => skipped += 1,
+                    Err(e) => return Err(format!("final tile ({ti},{tj}): {e:?}")),
+                }
+            }
+        }
+        Ok(VerifyOutcome {
+            checked,
+            skipped_poisoned: skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_steal::pool::{Pool, PoolConfig};
+    use nabbit_ft::inject::{FaultPlan, Phase};
+    use nabbit_ft::scheduler::{BaselineScheduler, FtScheduler};
+    use nabbit_ft::seq;
+
+    #[test]
+    fn sequential_matches_reference() {
+        let app = Arc::new(Fw::new(AppConfig::new(64, 16)));
+        seq::run(app.as_ref()).unwrap();
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn graph_shape_matches_paper_formulas() {
+        // nb = 4: T = nb^3 + 1 (synthetic sink).
+        let app = Fw::new(AppConfig::new(64, 16));
+        let s = nabbit_ft::analysis::graph_stats(&app);
+        assert_eq!(s.tasks, 64 + 1);
+        // Critical path ≈ 3 per round (diag → row/col → rest) + sink.
+        assert!(s.critical_path >= 3 * 4, "S = {}", s.critical_path);
+    }
+
+    #[test]
+    fn pred_succ_symmetry() {
+        let app = Fw::new(AppConfig::new(96, 16)); // nb = 6, keep = 2
+        for &k in &app.all_tasks() {
+            for p in app.predecessors(k) {
+                assert!(app.successors(p).contains(&k), "pred/succ: {p} -> {k}");
+            }
+            for su in app.successors(k) {
+                assert!(app.predecessors(su).contains(&k), "succ/pred: {k} -> {su}");
+            }
+        }
+    }
+
+    #[test]
+    fn pred_succ_symmetry_single_version() {
+        let app = Fw::with_single_version(AppConfig::new(80, 16)); // nb = 5
+        for &k in &app.all_tasks() {
+            for p in app.predecessors(k) {
+                assert!(app.successors(p).contains(&k), "pred/succ: {p} -> {k}");
+            }
+            for su in app.successors(k) {
+                assert!(app.predecessors(su).contains(&k), "succ/pred: {k} -> {su}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_predecessors() {
+        let app = Fw::new(AppConfig::new(96, 16));
+        for &k in &app.all_tasks() {
+            let p = app.predecessors(k);
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(p.len(), q.len(), "duplicate preds for {k}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn paper_table1_task_count_at_paper_scale() {
+        // Table I: N=5K, B=128 → nb=40 (their rounding), T = 64000 = nb³.
+        assert_eq!(40usize * 40 * 40, 64000);
+    }
+
+    #[test]
+    fn parallel_baseline_matches_reference() {
+        let app = Arc::new(Fw::new(AppConfig::new(64, 16)));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = BaselineScheduler::new(Arc::clone(&app) as _).run(&pool);
+        assert!(report.sink_completed);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_without_faults_matches_reference() {
+        let app = Arc::new(Fw::new(AppConfig::new(64, 16)));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = FtScheduler::new(Arc::clone(&app) as _).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.re_executions, 0);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_with_last_round_faults_chains_and_verifies() {
+        let app = Arc::new(Fw::new(AppConfig::new(64, 16)));
+        let last = app.tasks_of_class(VersionClass::Last);
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::sample(&last, 2, Phase::AfterCompute, 31));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed, "sink must complete despite chains");
+        assert!(report.re_executions >= 2);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_single_version_ablation_verifies_under_faults() {
+        let app = Arc::new(Fw::with_single_version(AppConfig::new(64, 16)));
+        let keys = app.all_tasks();
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::sample(&keys, 4, Phase::AfterCompute, 37));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_random_faults_all_phases_verify() {
+        for (phase, seed) in [
+            (Phase::BeforeCompute, 41),
+            (Phase::AfterCompute, 43),
+            (Phase::AfterNotify, 47),
+        ] {
+            let app = Arc::new(Fw::new(AppConfig::new(64, 16)));
+            let keys = app.tasks_of_class(VersionClass::Rand);
+            let pool = Pool::new(PoolConfig::with_threads(4));
+            let plan = Arc::new(FaultPlan::sample(&keys, 6, phase, seed));
+            let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+            assert!(report.sink_completed, "phase {phase:?}");
+            // After-notify faults may legitimately leave never-revisited
+            // blocks poisoned; everything checked must match.
+            let o = app
+                .verify_detailed()
+                .unwrap_or_else(|e| panic!("phase {phase:?}: {e}"));
+            assert!(
+                o.skipped_poisoned as u64 <= report.injected,
+                "phase {phase:?}: skipped {} > injected {}",
+                o.skipped_poisoned,
+                report.injected
+            );
+        }
+    }
+
+    #[test]
+    fn evictions_happen_under_reuse() {
+        let app = Arc::new(Fw::new(AppConfig::new(96, 16))); // nb=6 > keep
+        seq::run(app.as_ref()).unwrap();
+        assert!(app.store.evictions() > 0, "two-version reuse must evict");
+        app.verify().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use ft_steal::pool::{Pool, PoolConfig};
+    use nabbit_ft::inject::{FaultPlan, Phase};
+    use nabbit_ft::scheduler::FtScheduler;
+
+    /// Run rounds 0..=r-1, snapshot, resume a fresh instance from round r,
+    /// and compare against an uninterrupted full run.
+    #[test]
+    fn checkpoint_resume_matches_full_run() {
+        let cfg = AppConfig::new(96, 16); // nb = 6
+        let split = 3;
+        let pool = Pool::new(PoolConfig::with_threads(4));
+
+        // Uninterrupted full run (the oracle).
+        let full = Arc::new(Fw::new(cfg));
+        assert!(
+            FtScheduler::new(Arc::clone(&full) as _)
+                .run(&pool)
+                .sink_completed
+        );
+        full.verify().unwrap();
+
+        // Phase 1: rounds 0..=split-1, then checkpoint the state entering
+        // round `split`.
+        let prefix = Arc::new(Fw::prefix(cfg, split - 1));
+        assert!(
+            FtScheduler::new(Arc::clone(&prefix) as _)
+                .run(&pool)
+                .sink_completed
+        );
+        let snapshot = prefix
+            .snapshot_tiles(split)
+            .expect("version `split` resident after prefix run");
+
+        // Phase 2: resume from the checkpoint ("increase the time between
+        // checkpoints" — recovery handles faults inside the segment).
+        let resumed = Arc::new(Fw::resumed(cfg, split, snapshot));
+        let keys = resumed.tasks_of_class(VersionClass::Rand);
+        let plan = Arc::new(FaultPlan::sample(&keys, 6, Phase::AfterCompute, 77));
+        let report = FtScheduler::with_plan(Arc::clone(&resumed) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(
+            report.injected, 6,
+            "faults inside the segment are recovered"
+        );
+
+        // Final tiles of the resumed run match the uninterrupted run.
+        let nb = cfg.nb();
+        for ti in 0..nb {
+            for tj in 0..nb {
+                let a = full.final_tile(ti, tj).expect("full tile");
+                let b = resumed.final_tile(ti, tj).expect("resumed tile");
+                let diff = crate::common::max_abs_diff(&a, &b);
+                assert!(diff <= 1e-12, "tile ({ti},{tj}) differs by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_run_produces_resident_snapshot() {
+        let cfg = AppConfig::new(64, 16); // nb = 4
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let prefix = Arc::new(Fw::prefix(cfg, 1)); // rounds 0..=1
+        assert!(
+            FtScheduler::new(Arc::clone(&prefix) as _)
+                .run(&pool)
+                .sink_completed
+        );
+        // Versions 2 (and 1) are within the retention window.
+        assert!(prefix.snapshot_tiles(2).is_some());
+        // Version 0 is pinned input, always available.
+        assert!(prefix.snapshot_tiles(0).is_some());
+    }
+
+    #[test]
+    fn resumed_graph_shape_is_consistent() {
+        let cfg = AppConfig::new(96, 16); // nb = 6
+        let tiles = vec![vec![0.0; 16 * 16]; 36];
+        let fw = Fw::resumed(cfg, 2, tiles);
+        // Symmetry of pred/succ still holds on the truncated graph.
+        for &k in &fw.all_tasks() {
+            for p in fw.predecessors(k) {
+                assert!(fw.successors(p).contains(&k), "pred/succ: {p} -> {k}");
+            }
+            for su in fw.successors(k) {
+                assert!(fw.predecessors(su).contains(&k), "succ/pred: {k} -> {su}");
+            }
+        }
+        // Round-2 tasks have no round-1 predecessors.
+        let t = Fw::key(2, 3, 4);
+        assert!(fw.predecessors(t).iter().all(|&p| keys::decode(p).1 >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resume_rejects_bad_round() {
+        let cfg = AppConfig::new(64, 16);
+        let tiles = vec![vec![0.0; 256]; 16];
+        let _ = Fw::resumed(cfg, 99, tiles);
+    }
+}

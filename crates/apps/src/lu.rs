@@ -1,0 +1,588 @@
+//! LU decomposition (no pivoting) — blocked right-looking factorization.
+//!
+//! Tasks per round `k`: `GETRF(k)` factors the diagonal tile; `TRSM_L(k,i)`
+//! computes the L-panel tile `(i,k)`; `TRSM_U(k,j)` the U-panel tile
+//! `(k,j)`; `GEMM(k,i,j)` applies the rank-`B` update to the trailing tile
+//! `(i,j)`. Task counts reproduce Table I exactly:
+//! `T = Σ_{m=1}^{nb} m² = nb(nb+1)(2nb+1)/6` → 173,880 at `nb = 80`, and
+//! `E = 508,760` with no anti-dependence edges needed — every version of a
+//! block has its single reader as a direct graph descendant, so
+//! `KeepLast(2)` reuse is naturally safe.
+//!
+//! Recovery chains: re-executing `GEMM(k,i,j)` needs block `(i,j)` at
+//! version `k` — long since evicted for large `k` — so a `v=last` failure
+//! re-executes the whole update chain of that block (the paper's Table II
+//! shows LU `v=last` averaging ~3,600 re-executions for 512 intended).
+
+use crate::common::{keys, AppConfig, BenchApp, VerifyOutcome, VersionClass};
+use nabbit_ft::blocks::{BlockError, BlockStore, Retention};
+use nabbit_ft::fault::Fault;
+use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+use std::sync::Arc;
+
+const GETRF: u8 = 1;
+const TRSML: u8 = 2; // computes L tile (i,k), i > k
+const TRSMU: u8 = 3; // computes U tile (k,j), j > k
+const GEMM: u8 = 4; // updates trailing tile (i,j), i,j > k
+
+/// Blocked LU benchmark instance.
+pub struct Lu {
+    cfg: AppConfig,
+    store: BlockStore<f64>,
+    /// The input matrix (resilient; used only by `reference`).
+    input: Vec<f64>,
+}
+
+impl Lu {
+    /// Create an instance over a random diagonally-dominant matrix
+    /// (memory reuse: two retained versions, the paper's configuration).
+    pub fn new(cfg: AppConfig) -> Self {
+        Self::with_retention(cfg, Retention::KeepLast(2))
+    }
+
+    /// Single-assignment variant: every block version stays resident, so
+    /// recovery never needs to rebuild evicted inputs ("we expect the
+    /// overheads [...] for the single-assignment implementations to be
+    /// lower").
+    pub fn single_assignment(cfg: AppConfig) -> Self {
+        Self::with_retention(cfg, Retention::KeepAll)
+    }
+
+    /// Explicit retention policy.
+    pub fn with_retention(cfg: AppConfig, retention: Retention) -> Self {
+        let n = cfg.n;
+        let mut input = crate::common::random_matrix(n, 0.1, 1.0, cfg.seed);
+        for d in 0..n {
+            input[d * n + d] += n as f64;
+        }
+        let nb = cfg.nb();
+        let store = BlockStore::new(nb * nb, retention);
+        for ti in 0..nb {
+            for tj in 0..nb {
+                let tile = crate::common::extract_tile(&input, n, cfg.b, ti, tj);
+                store.publish_pinned(ti * nb + tj, 0, tile);
+            }
+        }
+        Lu { cfg, store, input }
+    }
+
+    fn nb(&self) -> usize {
+        self.cfg.nb()
+    }
+
+    fn bid(&self, i: usize, j: usize) -> usize {
+        i * self.nb() + j
+    }
+
+    /// Final version of block `(i,j)`: `min(i,j) + 1`.
+    fn final_version(i: usize, j: usize) -> u64 {
+        (i.min(j) + 1) as u64
+    }
+
+    /// Read the factored tile `(i,j)` after a completed run.
+    pub fn factored_tile(&self, i: usize, j: usize) -> Option<Arc<Vec<f64>>> {
+        self.store
+            .read(self.bid(i, j), Self::final_version(i, j))
+            .ok()
+    }
+
+    /// Independent reference: unblocked in-place LU without pivoting.
+    pub fn reference(&self) -> Vec<f64> {
+        let n = self.cfg.n;
+        let mut a = self.input.clone();
+        for t in 0..n {
+            let piv = a[t * n + t];
+            for u in t + 1..n {
+                a[u * n + t] /= piv;
+                let l = a[u * n + t];
+                for v in t + 1..n {
+                    a[u * n + v] -= l * a[t * n + v];
+                }
+            }
+        }
+        a
+    }
+}
+
+/// In-place unpivoted LU of a `b×b` tile.
+fn kernel_getrf(a: &mut [f64], b: usize) {
+    for t in 0..b {
+        let piv = a[t * b + t];
+        for u in t + 1..b {
+            a[u * b + t] /= piv;
+            let l = a[u * b + t];
+            for v in t + 1..b {
+                a[u * b + v] -= l * a[t * b + v];
+            }
+        }
+    }
+}
+
+/// L-panel solve: replay the elimination of the diagonal tile's U on a
+/// sub-diagonal tile — column `t` divides by `U[t][t]` then updates the
+/// trailing columns, matching the unblocked elimination order exactly.
+fn kernel_trsm_l(a: &mut [f64], diag: &[f64], b: usize) {
+    for t in 0..b {
+        let piv = diag[t * b + t];
+        for u in 0..b {
+            a[u * b + t] /= piv;
+            let l = a[u * b + t];
+            for v in t + 1..b {
+                a[u * b + v] -= l * diag[t * b + v];
+            }
+        }
+    }
+}
+
+/// U-panel solve: apply the diagonal tile's unit-L elimination to a
+/// right-of-diagonal tile.
+fn kernel_trsm_u(a: &mut [f64], diag: &[f64], b: usize) {
+    for t in 0..b {
+        for u in t + 1..b {
+            let l = diag[u * b + t];
+            for v in 0..b {
+                a[u * b + v] -= l * a[t * b + v];
+            }
+        }
+    }
+}
+
+/// Trailing update `C -= L · U`, accumulating per elimination step `t` in
+/// order (bit-compatible with the unblocked elimination).
+fn kernel_gemm(c: &mut [f64], l: &[f64], u: &[f64], b: usize) {
+    for t in 0..b {
+        for row in 0..b {
+            let lv = l[row * b + t];
+            for col in 0..b {
+                c[row * b + col] -= lv * u[t * b + col];
+            }
+        }
+    }
+}
+
+impl TaskGraph for Lu {
+    fn sink(&self) -> Key {
+        keys::encode(GETRF, self.nb() - 1, 0, 0)
+    }
+
+    fn predecessors(&self, key: Key) -> Vec<Key> {
+        let (tag, k, i, j) = keys::decode(key);
+        let mut p = Vec::with_capacity(3);
+        match tag {
+            GETRF => {
+                if k > 0 {
+                    p.push(keys::encode(GEMM, k - 1, k, k));
+                }
+            }
+            TRSML => {
+                p.push(keys::encode(GETRF, k, 0, 0));
+                if k > 0 {
+                    p.push(keys::encode(GEMM, k - 1, i, k));
+                }
+            }
+            TRSMU => {
+                p.push(keys::encode(GETRF, k, 0, 0));
+                if k > 0 {
+                    p.push(keys::encode(GEMM, k - 1, k, j));
+                }
+            }
+            GEMM => {
+                p.push(keys::encode(TRSML, k, i, 0));
+                p.push(keys::encode(TRSMU, k, 0, j));
+                if k > 0 {
+                    p.push(keys::encode(GEMM, k - 1, i, j));
+                }
+            }
+            _ => unreachable!("bad LU task tag"),
+        }
+        p
+    }
+
+    fn successors(&self, key: Key) -> Vec<Key> {
+        let (tag, k, i, j) = keys::decode(key);
+        let nb = self.nb();
+        let mut s = Vec::new();
+        match tag {
+            GETRF => {
+                for i2 in k + 1..nb {
+                    s.push(keys::encode(TRSML, k, i2, 0));
+                }
+                for j2 in k + 1..nb {
+                    s.push(keys::encode(TRSMU, k, 0, j2));
+                }
+            }
+            TRSML => {
+                for j2 in k + 1..nb {
+                    s.push(keys::encode(GEMM, k, i, j2));
+                }
+            }
+            TRSMU => {
+                for i2 in k + 1..nb {
+                    s.push(keys::encode(GEMM, k, i2, j));
+                }
+            }
+            GEMM => {
+                // Round k+1 task on block (i,j).
+                s.push(if i == k + 1 && j == k + 1 {
+                    keys::encode(GETRF, k + 1, 0, 0)
+                } else if j == k + 1 {
+                    keys::encode(TRSML, k + 1, i, 0)
+                } else if i == k + 1 {
+                    keys::encode(TRSMU, k + 1, 0, j)
+                } else {
+                    keys::encode(GEMM, k + 1, i, j)
+                });
+            }
+            _ => unreachable!("bad LU task tag"),
+        }
+        s
+    }
+
+    fn compute(&self, key: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+        let (tag, k, i, j) = keys::decode(key);
+        let b = self.cfg.b;
+        let v = k as u64;
+        let read = |bi: usize, bj: usize, ver: u64| {
+            self.store
+                .read(self.bid(bi, bj), ver)
+                .map_err(|e| e.into_fault())
+        };
+        match tag {
+            GETRF => {
+                let mut a = read(k, k, v)?.as_ref().clone();
+                kernel_getrf(&mut a, b);
+                self.store.publish(self.bid(k, k), v + 1, key, a);
+            }
+            TRSML => {
+                let mut a = read(i, k, v)?.as_ref().clone();
+                let d = read(k, k, v + 1)?;
+                kernel_trsm_l(&mut a, &d, b);
+                self.store.publish(self.bid(i, k), v + 1, key, a);
+            }
+            TRSMU => {
+                let mut a = read(k, j, v)?.as_ref().clone();
+                let d = read(k, k, v + 1)?;
+                kernel_trsm_u(&mut a, &d, b);
+                self.store.publish(self.bid(k, j), v + 1, key, a);
+            }
+            GEMM => {
+                let mut c = read(i, j, v)?.as_ref().clone();
+                let l = read(i, k, v + 1)?;
+                let u = read(k, j, v + 1)?;
+                kernel_gemm(&mut c, &l, &u, b);
+                self.store.publish(self.bid(i, j), v + 1, key, c);
+            }
+            _ => unreachable!("bad LU task tag"),
+        }
+        Ok(())
+    }
+
+    fn poison_outputs(&self, key: Key) {
+        let (tag, k, i, j) = keys::decode(key);
+        let (bi, bj) = match tag {
+            GETRF => (k, k),
+            TRSML => (i, k),
+            TRSMU => (k, j),
+            GEMM => (i, j),
+            _ => return,
+        };
+        self.store.poison(self.bid(bi, bj), (k + 1) as u64);
+    }
+}
+
+impl BenchApp for Lu {
+    fn name(&self) -> &'static str {
+        "LU"
+    }
+
+    fn config(&self) -> AppConfig {
+        self.cfg
+    }
+
+    fn all_tasks(&self) -> Vec<Key> {
+        let nb = self.nb();
+        let mut v = Vec::new();
+        for k in 0..nb {
+            v.push(keys::encode(GETRF, k, 0, 0));
+            for i in k + 1..nb {
+                v.push(keys::encode(TRSML, k, i, 0));
+            }
+            for j in k + 1..nb {
+                v.push(keys::encode(TRSMU, k, 0, j));
+            }
+            for i in k + 1..nb {
+                for j in k + 1..nb {
+                    v.push(keys::encode(GEMM, k, i, j));
+                }
+            }
+        }
+        v
+    }
+
+    fn tasks_of_class(&self, class: VersionClass) -> Vec<Key> {
+        match class {
+            // v=0: producers of the first computed version of any block —
+            // the round-0 tasks.
+            VersionClass::First => self
+                .all_tasks()
+                .into_iter()
+                .filter(|&t| keys::decode(t).1 == 0)
+                .collect(),
+            // v=last: producers of the final version of any block — all
+            // GETRF and TRSM tasks.
+            VersionClass::Last => self
+                .all_tasks()
+                .into_iter()
+                .filter(|&t| keys::decode(t).0 != GEMM)
+                .collect(),
+            VersionClass::Rand => self.all_tasks(),
+        }
+    }
+
+    fn verify_detailed(&self) -> Result<VerifyOutcome, String> {
+        let reference = self.reference();
+        let nb = self.nb();
+        let b = self.cfg.b;
+        // Tolerance scaled to the matrix magnitude (diagonally dominant,
+        // entries up to n + 1).
+        let tol = 1e-9 * self.cfg.n as f64;
+        let mut checked = 0;
+        let mut skipped = 0;
+        for ti in 0..nb {
+            for tj in 0..nb {
+                match self
+                    .store
+                    .read(self.bid(ti, tj), Self::final_version(ti, tj))
+                {
+                    Ok(got) => {
+                        let want = crate::common::extract_tile(&reference, self.cfg.n, b, ti, tj);
+                        let diff = crate::common::max_abs_diff(&got, &want);
+                        if diff > tol {
+                            return Err(format!("LU tile ({ti},{tj}) differs by {diff}"));
+                        }
+                        checked += 1;
+                    }
+                    Err(BlockError::Poisoned { .. }) => skipped += 1,
+                    Err(e) => return Err(format!("factored tile ({ti},{tj}): {e:?}")),
+                }
+            }
+        }
+        Ok(VerifyOutcome {
+            checked,
+            skipped_poisoned: skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_steal::pool::{Pool, PoolConfig};
+    use nabbit_ft::inject::{FaultPlan, Phase};
+    use nabbit_ft::scheduler::{BaselineScheduler, FtScheduler};
+    use nabbit_ft::seq;
+
+    #[test]
+    fn task_count_formula_matches_paper() {
+        // T = nb(nb+1)(2nb+1)/6; Table I: nb=80 → 173,880.
+        let t = |nb: usize| nb * (nb + 1) * (2 * nb + 1) / 6;
+        assert_eq!(t(80), 173_880);
+        let app = Lu::new(AppConfig::new(64, 16)); // nb = 4
+        assert_eq!(app.all_tasks().len(), t(4));
+    }
+
+    #[test]
+    fn edge_count_formula_matches_paper() {
+        // Computed from our predecessor lists at nb=4, then the closed form
+        // checked against the paper's 508,760 at nb=80.
+        let app = Lu::new(AppConfig::new(64, 16));
+        let s = nabbit_ft::analysis::graph_stats(&app);
+        let e_formula = |nb: i64| -> i64 {
+            // Σ_{m=0}^{nb-1} (3m² + 4m + 1) − (1 + 2(nb−1) + (nb−1)²)
+            let mut total = 0;
+            for m in 0..nb {
+                total += 3 * m * m + 4 * m + 1;
+            }
+            total - (1 + 2 * (nb - 1) + (nb - 1) * (nb - 1))
+        };
+        assert_eq!(s.edges as i64, e_formula(4));
+        assert_eq!(e_formula(80), 508_760);
+    }
+
+    #[test]
+    fn critical_path_matches_paper() {
+        // S = 3·nb − 2 (getrf → trsm → gemm per round); Table I: 238 at 80.
+        let app = Lu::new(AppConfig::new(64, 16));
+        let s = nabbit_ft::analysis::graph_stats(&app);
+        assert_eq!(s.critical_path, 3 * 4 - 2);
+        assert_eq!(3 * 80 - 2, 238);
+    }
+
+    #[test]
+    fn pred_succ_symmetry() {
+        let app = Lu::new(AppConfig::new(80, 16)); // nb = 5
+        for &k in &app.all_tasks() {
+            for p in app.predecessors(k) {
+                assert!(app.successors(p).contains(&k), "pred/succ: {p} -> {k}");
+            }
+            for su in app.successors(k) {
+                assert!(app.predecessors(su).contains(&k), "succ/pred: {k} -> {su}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_matches_reference() {
+        let app = Arc::new(Lu::new(AppConfig::new(64, 16)));
+        seq::run(app.as_ref()).unwrap();
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn parallel_baseline_matches_reference() {
+        let app = Arc::new(Lu::new(AppConfig::new(64, 16)));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = BaselineScheduler::new(Arc::clone(&app) as _).run(&pool);
+        assert!(report.sink_completed);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_without_faults_matches_reference() {
+        let app = Arc::new(Lu::new(AppConfig::new(64, 16)));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = FtScheduler::new(Arc::clone(&app) as _).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.re_executions, 0);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_with_gemm_faults_matches_reference() {
+        let app = Arc::new(Lu::new(AppConfig::new(64, 16)));
+        let keys = app.all_tasks();
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::sample(&keys, 10, Phase::AfterCompute, 53));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 10);
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_vlast_fault_triggers_chain() {
+        // Failing the producer of a block's final version forces the chain
+        // of earlier versions (evicted under KeepLast(2)) to be recomputed.
+        let app = Arc::new(Lu::new(AppConfig::new(96, 16))); // nb = 6
+        let nb = 6;
+        // TRSM_L(nb-2, nb-1): block (5,4) final version = 5; versions 1..4
+        // evicted by then.
+        let victim = keys::encode(TRSML, nb - 2, nb - 1, 0);
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::single(victim, Phase::AfterCompute));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        assert!(
+            report.re_executions >= 1,
+            "victim must re-execute: {}",
+            report.re_executions
+        );
+        app.verify().unwrap();
+    }
+
+    #[test]
+    fn ft_after_notify_on_vlast_verifies() {
+        let app = Arc::new(Lu::new(AppConfig::new(64, 16)));
+        let last = app.tasks_of_class(VersionClass::Last);
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::sample(&last, 4, Phase::AfterNotify, 59));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        let o = app.verify_detailed().unwrap();
+        assert!(o.skipped_poisoned as u64 <= report.injected);
+        assert!(o.checked > 0);
+    }
+
+    #[test]
+    fn class_partitions() {
+        let app = Lu::new(AppConfig::new(64, 16)); // nb = 4
+        let first = app.tasks_of_class(VersionClass::First);
+        let last = app.tasks_of_class(VersionClass::Last);
+        // Round 0: 1 getrf + 3 trsml + 3 trsmu + 9 gemm = 16.
+        assert_eq!(first.len(), 16);
+        // All getrf (4) + trsml (3+2+1) + trsmu (6) = 16.
+        assert_eq!(last.len(), 16);
+        assert_eq!(app.tasks_of_class(VersionClass::Rand).len(), 30);
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+
+    /// 2×2 LU by hand: A = [[4,2],[6,5]] → L = [[1,0],[1.5,1]],
+    /// U = [[4,2],[0,2]] packed as [[4,2],[1.5,2]].
+    #[test]
+    fn getrf_2x2_hand_computed() {
+        let mut a = vec![4.0, 2.0, 6.0, 5.0];
+        kernel_getrf(&mut a, 2);
+        assert_eq!(a, vec![4.0, 2.0, 1.5, 2.0]);
+    }
+
+    /// L-panel: X·U = A with U from the tile above.
+    #[test]
+    fn trsm_l_inverts_u() {
+        // diag tile factored: U = [[2,1],[0,3]] (L part irrelevant here).
+        let diag = vec![2.0, 1.0, 0.5, 3.0];
+        // A = X·U with X = [[1,2],[3,4]] → A = [[2, 7],[6, 15]].
+        let mut a = vec![2.0, 7.0, 6.0, 15.0];
+        kernel_trsm_l(&mut a, &diag, 2);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert!((a[1] - 2.0).abs() < 1e-12);
+        assert!((a[2] - 3.0).abs() < 1e-12);
+        assert!((a[3] - 4.0).abs() < 1e-12);
+    }
+
+    /// U-panel: L·X = A with unit-L from the tile to the left.
+    #[test]
+    fn trsm_u_inverts_unit_l() {
+        // L = [[1,0],[0.5,1]] packed below the diagonal of the diag tile.
+        let diag = vec![9.0, 9.0, 0.5, 9.0];
+        // A = L·X with X = [[2,4],[6,8]] → A = [[2,4],[7,10]].
+        let mut a = vec![2.0, 4.0, 7.0, 10.0];
+        kernel_trsm_u(&mut a, &diag, 2);
+        assert!((a[0] - 2.0).abs() < 1e-12);
+        assert!((a[1] - 4.0).abs() < 1e-12);
+        assert!((a[2] - 6.0).abs() < 1e-12);
+        assert!((a[3] - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_subtracts_product() {
+        // C -= L·U with L = I → C -= U.
+        let l = vec![1.0, 0.0, 0.0, 1.0];
+        let u = vec![1.0, 2.0, 3.0, 4.0];
+        let mut c = vec![10.0, 10.0, 10.0, 10.0];
+        kernel_gemm(&mut c, &l, &u, 2);
+        assert_eq!(c, vec![9.0, 8.0, 7.0, 6.0]);
+    }
+
+    /// The tile kernels composed over a 2×2-of-2×2 blocked matrix must
+    /// equal the unblocked factorization exactly (same elimination order).
+    #[test]
+    fn blocked_kernels_equal_unblocked_bitwise() {
+        let app = Lu::new(AppConfig::new(64, 16));
+        nabbit_ft::seq::run(&app).unwrap();
+        let reference = app.reference();
+        let nb = app.nb();
+        for ti in 0..nb {
+            for tj in 0..nb {
+                let got = app.factored_tile(ti, tj).unwrap();
+                let want = crate::common::extract_tile(&reference, 64, 16, ti, tj);
+                // Diagonally dominant input keeps this numerically tight.
+                let diff = crate::common::max_abs_diff(&got, &want);
+                assert!(diff < 1e-10, "tile ({ti},{tj}): {diff}");
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Ablation: shard-count sweep of the concurrent task map under the
+//! scheduler's access mix (insert-if-absent once, then read-heavy gets).
+//! Justifies DESIGN.md decision #2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_cmap::ShardedMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEYS: i64 = 4096;
+const THREADS: usize = 4;
+
+fn workload(shards: usize) {
+    let m: Arc<ShardedMap<u64>> = Arc::new(ShardedMap::with_shards(shards));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let m = Arc::clone(&m);
+            scope.spawn(move || {
+                // Scheduler-like mix: each thread inserts a slice of the key
+                // space, then performs many gets across the whole space.
+                let lo = KEYS * t as i64 / THREADS as i64;
+                let hi = KEYS * (t as i64 + 1) / THREADS as i64;
+                for k in lo..hi {
+                    m.insert_if_absent(k, || k as u64);
+                }
+                let mut acc = 0u64;
+                for round in 0..8 {
+                    for k in 0..KEYS {
+                        if let Some(v) = m.get((k + round) % KEYS) {
+                            acc = acc.wrapping_add(v);
+                        }
+                    }
+                }
+                black_box(acc);
+            });
+        }
+    });
+    assert_eq!(m.len(), KEYS as usize);
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cmap_shards");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6))
+        .warm_up_time(Duration::from_secs(1));
+    for shards in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &s| {
+            b.iter(|| workload(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation: the hand-rolled Chase-Lev deque vs a mutex-guarded `VecDeque`
+//! under the pool's actual access pattern (owner push/pop with concurrent
+//! thieves). Justifies DESIGN.md decision #1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_steal::deque::{deque, Steal};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OPS: usize = 100_000;
+
+/// Owner pushes/pops OPS items while `thieves` threads steal.
+fn chase_lev_round(thieves: usize) {
+    let (w, s) = deque::<u64>();
+    let done = Arc::new(AtomicBool::new(false));
+    let stolen = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..thieves {
+            let s = s.clone();
+            let done = Arc::clone(&done);
+            let stolen = Arc::clone(&stolen);
+            scope.spawn(move || loop {
+                match s.steal() {
+                    Steal::Success(_) => {
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Steal::Empty if done.load(Ordering::Acquire) => break,
+                    _ => std::hint::spin_loop(),
+                }
+            });
+        }
+        let mut popped = 0u64;
+        for i in 0..OPS as u64 {
+            w.push(i);
+            if i % 2 == 0 && w.pop().is_some() {
+                popped += 1;
+            }
+        }
+        while w.pop().is_some() {
+            popped += 1;
+        }
+        done.store(true, Ordering::Release);
+        stolen.fetch_add(popped, Ordering::Relaxed);
+    });
+    assert_eq!(stolen.load(Ordering::Relaxed), OPS as u64);
+}
+
+/// Same workload over `Mutex<VecDeque>`.
+fn mutex_round(thieves: usize) {
+    let q = Arc::new(Mutex::new(VecDeque::<u64>::new()));
+    let done = Arc::new(AtomicBool::new(false));
+    let consumed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..thieves {
+            let q = Arc::clone(&q);
+            let done = Arc::clone(&done);
+            let consumed = Arc::clone(&consumed);
+            scope.spawn(move || loop {
+                let got = q.lock().pop_front();
+                match got {
+                    Some(_) => {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None if done.load(Ordering::Acquire) => break,
+                    None => std::hint::spin_loop(),
+                }
+            });
+        }
+        let mut popped = 0u64;
+        for i in 0..OPS as u64 {
+            q.lock().push_back(i);
+            if i % 2 == 0 && q.lock().pop_back().is_some() {
+                popped += 1;
+            }
+        }
+        while q.lock().pop_back().is_some() {
+            popped += 1;
+        }
+        done.store(true, Ordering::Release);
+        consumed.fetch_add(popped, Ordering::Relaxed);
+    });
+    assert_eq!(consumed.load(Ordering::Relaxed), OPS as u64);
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_deque");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(6))
+        .warm_up_time(Duration::from_secs(1));
+    for thieves in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("chase_lev", thieves), &thieves, |b, &t| {
+            b.iter(|| chase_lev_round(t))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mutex_vecdeque", thieves),
+            &thieves,
+            |b, &t| b.iter(|| mutex_round(t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion version of Figure 4: fault-free execution time of the
+//! baseline scheduler vs the FT-enabled scheduler, per benchmark.
+//!
+//! The paper's claim: "these additional structures do not incur substantial
+//! overheads" — baseline and FT bars should be statistically
+//! indistinguishable (FW excepted: two-version blocks cost ~10%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_apps::AppConfig;
+use ft_bench::{make_app, run_baseline, run_ft, AppKind};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::inject::FaultPlan;
+use std::time::Duration;
+
+fn bench_cfg(kind: AppKind) -> AppConfig {
+    match kind {
+        AppKind::Lcs | AppKind::Sw => AppConfig::new(2048, 128),
+        _ => AppConfig::new(384, 48),
+    }
+}
+
+fn fig4(c: &mut Criterion) {
+    let threads = 4;
+    let pool = Pool::new(PoolConfig::with_threads(threads));
+    let mut group = c.benchmark_group("fig4_no_fault_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    for &kind in ft_bench::APP_KINDS {
+        let cfg = bench_cfg(kind);
+        group.bench_with_input(
+            BenchmarkId::new("baseline", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let app = make_app(kind, cfg);
+                    assert!(run_baseline(&pool, app).sink_completed);
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ft", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let app = make_app(kind, cfg);
+                assert!(run_ft(&pool, app, FaultPlan::none()).sink_completed);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion version of Figure 5: FT execution time under injected faults
+//! (constant counts and work-loss percentages, after-compute, v=rand),
+//! relative to the fault-free FT run.
+//!
+//! The paper's claim: "the amount of re-execution overhead is proportional
+//! to the amount of work lost".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_apps::{AppConfig, VersionClass};
+use ft_bench::{make_app, run_ft, AppKind};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::inject::{FaultPlan, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn fig5(c: &mut Criterion) {
+    let pool = Pool::new(PoolConfig::with_threads(4));
+    let mut group = c.benchmark_group("fig5_recovery_overhead");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    // One representative reuse benchmark (LU) and one single-assignment (LCS).
+    for (kind, cfg) in [
+        (AppKind::Lu, AppConfig::new(384, 48)),
+        (AppKind::Lcs, AppConfig::new(2048, 128)),
+    ] {
+        let probe = make_app(kind, cfg);
+        let candidates = probe.tasks_of_class(VersionClass::Rand);
+        let total = probe.all_tasks().len();
+        drop(probe);
+        for (label, count) in [
+            ("0-faults", 0usize),
+            ("8-faults", 8),
+            ("2pct", total / 50),
+            ("5pct", total / 20),
+        ] {
+            let seed = AtomicU64::new(1);
+            group.bench_with_input(BenchmarkId::new(kind.name(), label), &count, |b, &count| {
+                b.iter(|| {
+                    let app = make_app(kind, cfg);
+                    let plan = FaultPlan::sample(
+                        &candidates,
+                        count,
+                        Phase::AfterCompute,
+                        seed.fetch_add(1, Ordering::Relaxed),
+                    );
+                    assert!(run_ft(&pool, app, plan).sink_completed);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion version of Figure 7: recovery overhead as the thread count
+//! grows. Serial producer-chain re-execution limits recovery concurrency,
+//! so the *relative* cost of a 5% loss grows with P while a small constant
+//! loss stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_apps::{AppConfig, VersionClass};
+use ft_bench::{make_app, run_ft, AppKind};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::inject::{FaultPlan, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn fig7(c: &mut Criterion) {
+    let kind = AppKind::Fw;
+    let cfg = AppConfig::new(384, 48);
+    let probe = make_app(kind, cfg);
+    let candidates = probe.tasks_of_class(VersionClass::Rand);
+    let total = probe.all_tasks().len();
+    drop(probe);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut group = c.benchmark_group("fig7_scalability");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    let mut p_values = vec![1usize, 2, 4, cores.min(16)];
+    p_values.sort_unstable();
+    p_values.dedup();
+    for p in p_values {
+        let pool = Pool::new(PoolConfig::with_threads(p));
+        for (label, count) in [("no-fault", 0usize), ("5pct", total / 20)] {
+            let seed = AtomicU64::new(p as u64 * 100);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("P{p}")),
+                &count,
+                |b, &count| {
+                    b.iter(|| {
+                        let app = make_app(kind, cfg);
+                        let plan = FaultPlan::sample(
+                            &candidates,
+                            count,
+                            Phase::AfterCompute,
+                            seed.fetch_add(1, Ordering::Relaxed),
+                        );
+                        assert!(run_ft(&pool, app, plan).sink_completed);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Experiment reports: aligned console tables plus JSON persistence, so
+//! EXPERIMENTS.md can record paper-vs-measured for every table and figure.
+
+use crate::measure::Stats;
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One row of an experiment table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (benchmark, scenario, …).
+    pub label: String,
+    /// Column values, formatted by the producer.
+    pub values: Vec<String>,
+}
+
+/// A complete experiment: identifies the paper artifact it regenerates.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// Paper artifact id, e.g. "fig4", "table2".
+    pub id: String,
+    /// Human description.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (scaling caveats, paper-expected shape).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// New empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<String>) {
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            widths[0] = widths[0].max(row.label.len());
+            for (i, v) in row.values.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(v.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut cells = vec![format!("{:>width$}", row.label, width = widths[0])];
+            for (i, v) in row.values.iter().enumerate() {
+                let w = widths.get(i + 1).copied().unwrap_or(v.len());
+                cells.push(format!("{:>width$}", v, width = w));
+            }
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Persist as pretty JSON under `dir/<id>.json`.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("serialize")
+                .as_bytes(),
+        )
+    }
+
+    /// Persist as CSV under `dir/<id>.csv` (plot-friendly: gnuplot,
+    /// pandas, spreadsheets).
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(path)?;
+        let quote = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        writeln!(
+            f,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        )?;
+        for row in &self.rows {
+            let mut cells = vec![quote(&row.label)];
+            cells.extend(row.values.iter().map(|v| quote(v)));
+            writeln!(f, "{}", cells.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format seconds with ± std.
+pub fn fmt_time(s: &Stats) -> String {
+    format!("{:.3}s±{:.3}", s.mean, s.std)
+}
+
+/// Format a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment_and_content() {
+        let mut r = ExperimentReport::new("figX", "demo", &["bench", "a", "b"]);
+        r.push_row("LCS", vec!["1.0".into(), "2.00".into()]);
+        r.push_row("Cholesky", vec!["3".into(), "4".into()]);
+        r.note("scaled run");
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("Cholesky"));
+        assert!(s.contains("note: scaled run"));
+        // Alignment: every data line has the same width up to the last col.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let dir = std::env::temp_dir().join("ft-bench-test-report");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = ExperimentReport::new("t1", "x", &["a"]);
+        r.push_row("row", vec![]);
+        r.save_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t1.json")).unwrap();
+        assert!(content.contains("\"id\": \"t1\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_csv_quotes_and_writes() {
+        let dir = std::env::temp_dir().join("ft-bench-test-csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = ExperimentReport::new("c1", "x", &["bench", "val,with,commas"]);
+        r.push_row("LU", vec!["1.5".into()]);
+        r.push_row("a\"b", vec!["2".into()]);
+        r.save_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("c1.csv")).unwrap();
+        assert!(content.starts_with("bench,\"val,with,commas\""));
+        assert!(content.contains("LU,1.5"));
+        assert!(content.contains("\"a\"\"b\",2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        let s = crate::measure::Stats::from_samples(&[1.0, 1.5]);
+        assert!(fmt_time(&s).contains("1.250s"));
+        assert_eq!(fmt_pct(5.25), "+5.25%");
+        assert_eq!(fmt_pct(-1.0), "-1.00%");
+    }
+}

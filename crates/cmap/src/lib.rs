@@ -1,0 +1,30 @@
+//! `ft-cmap` — a sharded concurrent hash map built for the NABBIT
+//! fault-tolerant task-graph scheduler.
+//!
+//! The SC14 paper's runtime keeps two concurrent maps:
+//!
+//! * the **task map**: key (`i64`) → pointer to the current incarnation of a
+//!   task descriptor, accessed with `InsertTaskIfAbsent` / `GetTask` /
+//!   `ReplaceTask` (Figures 2–3);
+//! * the **recovery table `R`**: key → most recent *life number* for which a
+//!   recovery has been initiated, accessed with `InsertRecord` / `GetRecord`
+//!   plus an atomic compare-and-swap on the stored life (Figure 3,
+//!   `IsRecovering`).
+//!
+//! [`ShardedMap`] provides exactly those operations. It is a classic
+//! lock-striped hash map: `S` shards (power of two), each a
+//! `parking_lot::RwLock` over an open-addressing table. Reads take a shard
+//! read lock; the scheduler's hot path (`get`) is read-mostly and scales
+//! with shard count. The map stores values by value; the scheduler stores
+//! `Arc<TaskDesc>`, matching the paper's "the hash map stores the pointers
+//! to the tasks and not the tasks themselves".
+//!
+//! A dedicated [`ShardedMap::update_cas`] implements the recovery table's
+//! compare-and-swap on the stored value without the caller holding any lock
+//! across the comparison.
+
+#![warn(missing_docs)]
+
+pub mod map;
+
+pub use map::{MapStats, ShardedMap};

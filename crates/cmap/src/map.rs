@@ -1,0 +1,437 @@
+//! Lock-striped concurrent hash map.
+//!
+//! Keys are `i64` task keys (the paper fixes `int64_t` keys); values are any
+//! `Clone` type — the scheduler stores `Arc`s. Each shard is an open
+//! hash table (robin-hood-free linear probing with tombstone-less rebuild on
+//! growth) guarded by a `RwLock`. The shard for a key is selected by a
+//! Fibonacci-hash of the key, which also serves as the in-shard probe start;
+//! shard selection uses the high bits and probing the low bits so the two
+//! are decorrelated.
+
+use parking_lot::RwLock;
+
+/// Multiplicative (Fibonacci) hash constant, 2^64 / φ.
+const HASH_K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn hash_key(key: i64) -> u64 {
+    (key as u64).wrapping_mul(HASH_K)
+}
+
+/// One entry slot in a shard table.
+#[derive(Clone)]
+enum Slot<V> {
+    Empty,
+    Full(i64, V),
+}
+
+/// A single shard: linear-probing open hash table.
+struct Shard<V> {
+    slots: Vec<Slot<V>>,
+    len: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn new(cap: usize) -> Self {
+        Shard {
+            slots: vec![Slot::Empty; cap],
+            len: 0,
+        }
+    }
+
+    fn probe(&self, key: i64) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_key(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full(k, _) if *k == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    fn grow_if_needed(&mut self) {
+        // Keep load factor below 0.7.
+        if self.len * 10 < self.slots.len() * 7 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![Slot::Empty; new_cap]);
+        let mask = new_cap - 1;
+        for slot in old {
+            if let Slot::Full(k, v) = slot {
+                let mut i = (hash_key(k) as usize) & mask;
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full(k, v);
+            }
+        }
+    }
+
+    /// Insert only if `key` is absent. Returns true if inserted.
+    fn insert_if_absent(&mut self, key: i64, make: impl FnOnce() -> V) -> bool {
+        if self.probe(key).is_some() {
+            return false;
+        }
+        self.grow_if_needed();
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_key(key) as usize) & mask;
+        while matches!(self.slots[i], Slot::Full(..)) {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Slot::Full(key, make());
+        self.len += 1;
+        true
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    fn replace(&mut self, key: i64, value: V) -> Option<V> {
+        if let Some(i) = self.probe(key) {
+            if let Slot::Full(_, v) = std::mem::replace(&mut self.slots[i], Slot::Full(key, value))
+            {
+                return Some(v);
+            }
+            unreachable!("probe returned a full slot");
+        }
+        self.grow_if_needed();
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_key(key) as usize) & mask;
+        while matches!(self.slots[i], Slot::Full(..)) {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = Slot::Full(key, value);
+        self.len += 1;
+        None
+    }
+}
+
+/// A sharded concurrent hash map from `i64` task keys to `V`.
+pub struct ShardedMap<V> {
+    shards: Vec<RwLock<Shard<V>>>,
+    shift: u32,
+}
+
+/// Occupancy statistics, for the shard-count ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapStats {
+    /// Total entries across shards.
+    pub len: usize,
+    /// Number of shards.
+    pub shards: usize,
+    /// Maximum entries in any one shard (imbalance indicator).
+    pub max_shard_len: usize,
+}
+
+impl<V: Clone> Default for ShardedMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// Map with a default shard count (4× available cores, rounded up to a
+    /// power of two) — enough striping that the scheduler's task map is not
+    /// a bottleneck at full core count.
+    pub fn new() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        Self::with_shards((cores * 4).next_power_of_two())
+    }
+
+    /// Map with an explicit shard count (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedMap {
+            shards: (0..shards).map(|_| RwLock::new(Shard::new(64))).collect(),
+            shift: 64 - shards.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn shard_for(&self, key: i64) -> &RwLock<Shard<V>> {
+        // High bits pick the shard; low bits drive in-shard probing.
+        let idx = if self.shards.len() == 1 {
+            0
+        } else {
+            (hash_key(key) >> self.shift) as usize
+        };
+        &self.shards[idx]
+    }
+
+    /// `InsertTaskIfAbsent`: atomically insert `make()` under `key` if no
+    /// entry exists. Returns `true` if this call inserted. `make` runs
+    /// under the shard lock only when an insert actually happens.
+    pub fn insert_if_absent(&self, key: i64, make: impl FnOnce() -> V) -> bool {
+        self.shard_for(key).write().insert_if_absent(key, make)
+    }
+
+    /// `GetTask`: clone out the current value for `key`.
+    pub fn get(&self, key: i64) -> Option<V> {
+        let shard = self.shard_for(key).read();
+        shard.probe(key).map(|i| match &shard.slots[i] {
+            Slot::Full(_, v) => v.clone(),
+            Slot::Empty => unreachable!(),
+        })
+    }
+
+    /// True if the map has an entry for `key`.
+    pub fn contains(&self, key: i64) -> bool {
+        self.shard_for(key).read().probe(key).is_some()
+    }
+
+    /// `ReplaceTask`: insert or overwrite the value under `key`, returning
+    /// the previous value if any.
+    pub fn replace(&self, key: i64, value: V) -> Option<V> {
+        self.shard_for(key).write().replace(key, value)
+    }
+
+    /// Atomically read-modify-write the entry for `key`.
+    ///
+    /// `f` receives the current value (if any) and returns `Some(new)` to
+    /// store or `None` to leave the entry untouched. Returns the value the
+    /// closure decided on, i.e. `f`'s output. This is the primitive behind
+    /// the recovery table's `AtomicCompAndSwap(stored, life-1, life)`.
+    pub fn update_cas<R>(&self, key: i64, f: impl FnOnce(Option<&V>) -> (Option<V>, R)) -> R {
+        let mut shard = self.shard_for(key).write();
+        let current = shard.probe(key);
+        let (new, ret) = match current {
+            Some(i) => match &shard.slots[i] {
+                Slot::Full(_, v) => f(Some(v)),
+                Slot::Empty => unreachable!(),
+            },
+            None => f(None),
+        };
+        if let Some(v) = new {
+            shard.replace(key, v);
+        }
+        ret
+    }
+
+    /// Total number of entries (takes each shard read lock once).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len).sum()
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupancy statistics for diagnostics/ablation.
+    pub fn stats(&self) -> MapStats {
+        let lens: Vec<usize> = self.shards.iter().map(|s| s.read().len).collect();
+        MapStats {
+            len: lens.iter().sum(),
+            shards: self.shards.len(),
+            max_shard_len: lens.into_iter().max().unwrap_or(0),
+        }
+    }
+
+    /// Remove all entries, retaining shard capacity.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut g = s.write();
+            for slot in g.slots.iter_mut() {
+                *slot = Slot::Empty;
+            }
+            g.len = 0;
+        }
+    }
+
+    /// Snapshot of all `(key, value)` pairs. Not atomic across shards; used
+    /// only after quiescence (metrics, verification).
+    pub fn entries(&self) -> Vec<(i64, V)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let g = s.read();
+            for slot in g.slots.iter() {
+                if let Slot::Full(k, v) = slot {
+                    out.push((*k, v.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn insert_get_replace() {
+        let m = ShardedMap::with_shards(4);
+        assert!(m.insert_if_absent(1, || "a"));
+        assert!(!m.insert_if_absent(1, || "b"));
+        assert_eq!(m.get(1), Some("a"));
+        assert_eq!(m.replace(1, "c"), Some("a"));
+        assert_eq!(m.get(1), Some("c"));
+        assert_eq!(m.replace(2, "d"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn get_missing_is_none() {
+        let m: ShardedMap<u32> = ShardedMap::with_shards(2);
+        assert_eq!(m.get(42), None);
+        assert!(!m.contains(42));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let m = ShardedMap::with_shards(8);
+        for k in [i64::MIN, -1, 0, 1, i64::MAX] {
+            assert!(m.insert_if_absent(k, || k));
+            assert_eq!(m.get(k), Some(k));
+        }
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let m = ShardedMap::with_shards(1);
+        for k in 0..10_000i64 {
+            assert!(m.insert_if_absent(k, || k * 2));
+        }
+        for k in 0..10_000i64 {
+            assert_eq!(m.get(k), Some(k * 2), "key {k}");
+        }
+        let stats = m.stats();
+        assert_eq!(stats.len, 10_000);
+        assert_eq!(stats.shards, 1);
+    }
+
+    #[test]
+    fn make_not_called_when_present() {
+        let m = ShardedMap::with_shards(2);
+        let calls = AtomicUsize::new(0);
+        m.insert_if_absent(5, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            1
+        });
+        m.insert_if_absent(5, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn update_cas_models_recovery_table() {
+        // IsRecovering semantics: insert life if absent (first observer
+        // recovers); else CAS stored == life-1 -> life.
+        let m: ShardedMap<u64> = ShardedMap::with_shards(4);
+        let key = 9;
+        let is_recovering = |life: u64| -> bool {
+            m.update_cas(key, |cur| match cur {
+                None => (Some(life), false),
+                Some(&stored) if stored == life - 1 => (Some(life), false),
+                Some(_) => (None, true),
+            })
+        };
+        assert!(!is_recovering(1), "first observer recovers life 1");
+        assert!(is_recovering(1), "second observer of life 1 does not");
+        assert!(!is_recovering(2), "first observer of life 2 recovers");
+        assert!(is_recovering(2));
+        assert!(is_recovering(2));
+    }
+
+    #[test]
+    fn clear_empties_map() {
+        let m = ShardedMap::with_shards(4);
+        for k in 0..100 {
+            m.insert_if_absent(k, || k);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(5), None);
+        // Reusable after clear.
+        assert!(m.insert_if_absent(5, || 50));
+        assert_eq!(m.get(5), Some(50));
+    }
+
+    #[test]
+    fn entries_snapshot() {
+        let m = ShardedMap::with_shards(4);
+        for k in 0..50 {
+            m.insert_if_absent(k, || k * 3);
+        }
+        let mut entries = m.entries();
+        entries.sort();
+        assert_eq!(entries.len(), 50);
+        for (i, (k, v)) in entries.iter().enumerate() {
+            assert_eq!(*k, i as i64);
+            assert_eq!(*v, *k * 3);
+        }
+    }
+
+    #[test]
+    fn concurrent_insert_if_absent_exactly_one_winner() {
+        let m: Arc<ShardedMap<usize>> = Arc::new(ShardedMap::with_shards(16));
+        let winners = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for tid in 0..8 {
+                let m = Arc::clone(&m);
+                let winners = Arc::clone(&winners);
+                s.spawn(move || {
+                    for k in 0..1000i64 {
+                        if m.insert_if_absent(k, || tid) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1000);
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let m: Arc<ShardedMap<i64>> = Arc::new(ShardedMap::with_shards(8));
+        thread::scope(|s| {
+            for t in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for k in 0..5000i64 {
+                        match (k + t) % 3 {
+                            0 => {
+                                m.insert_if_absent(k, || k);
+                            }
+                            1 => {
+                                if let Some(v) = m.get(k) {
+                                    assert!(v == k || v == -k);
+                                }
+                            }
+                            _ => {
+                                m.update_cas(k, |cur| match cur {
+                                    Some(&v) => (Some(v), ()),
+                                    None => (None, ()),
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // All inserted values are self-consistent.
+        for (k, v) in m.entries() {
+            assert_eq!(k, v);
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: ShardedMap<u8> = ShardedMap::with_shards(5);
+        assert_eq!(m.stats().shards, 8);
+        let m: ShardedMap<u8> = ShardedMap::with_shards(0);
+        assert_eq!(m.stats().shards, 1);
+    }
+}

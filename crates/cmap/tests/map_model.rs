@@ -1,0 +1,142 @@
+//! Property tests for the sharded concurrent map: sequential equivalence
+//! with `HashMap` under random operation sequences, plus the recovery-table
+//! protocol as a state machine.
+
+use ft_cmap::ShardedMap;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    InsertIfAbsent(i64, u64),
+    Get(i64),
+    Replace(i64, u64),
+    Contains(i64),
+    UpdateAddOne(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key space so operations collide often.
+    let key = -8i64..8;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::InsertIfAbsent(k, v)),
+        key.clone().prop_map(Op::Get),
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Replace(k, v)),
+        key.clone().prop_map(Op::Contains),
+        key.prop_map(Op::UpdateAddOne),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matches_hashmap_model(
+        shards in 1usize..32,
+        ops in prop::collection::vec(op_strategy(), 0..200),
+    ) {
+        let m: ShardedMap<u64> = ShardedMap::with_shards(shards);
+        let mut model: HashMap<i64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::InsertIfAbsent(k, v) => {
+                    let inserted = m.insert_if_absent(k, || v);
+                    let model_inserted = if let std::collections::hash_map::Entry::Vacant(e) =
+                        model.entry(k)
+                    {
+                        e.insert(v);
+                        true
+                    } else {
+                        false
+                    };
+                    prop_assert_eq!(inserted, model_inserted);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(m.get(k), model.get(&k).copied());
+                }
+                Op::Replace(k, v) => {
+                    let prev = m.replace(k, v);
+                    let model_prev = model.insert(k, v);
+                    prop_assert_eq!(prev, model_prev);
+                }
+                Op::Contains(k) => {
+                    prop_assert_eq!(m.contains(k), model.contains_key(&k));
+                }
+                Op::UpdateAddOne(k) => {
+                    let got = m.update_cas(k, |cur| match cur {
+                        Some(&v) => (Some(v + 1), Some(v + 1)),
+                        None => (None, None),
+                    });
+                    let model_got = model.get_mut(&k).map(|v| {
+                        *v += 1;
+                        *v
+                    });
+                    prop_assert_eq!(got, model_got);
+                }
+            }
+            prop_assert_eq!(m.len(), model.len());
+        }
+        // Final content equivalence.
+        let mut entries = m.entries();
+        entries.sort();
+        let mut model_entries: Vec<(i64, u64)> = model.into_iter().collect();
+        model_entries.sort();
+        prop_assert_eq!(entries, model_entries);
+    }
+
+    /// The IsRecovering protocol of Figure 3 as a property. In a real run
+    /// lives are observed in order (an incarnation exists only after the
+    /// previous one's recovery), possibly many times each (multiple
+    /// observers), with stale re-observations of old lives mixed in.
+    /// Exactly the first observation of each life claims the recovery.
+    #[test]
+    fn recovery_table_claims_once_per_life(
+        max_life in 1u64..15,
+        observers in 1usize..5,
+        stale_looks in 0usize..4,
+    ) {
+        let r: ShardedMap<u64> = ShardedMap::with_shards(4);
+        let key = 5i64;
+        let is_recovering = |life: u64| -> bool {
+            r.update_cas(key, |cur| match cur {
+                None => (Some(life), false),
+                Some(&stored) if stored + 1 == life => (Some(life), false),
+                Some(_) => (None, true),
+            })
+        };
+        for life in 1..=max_life {
+            // Multiple observers of the same incarnation's failure: only
+            // the first claims (Guarantee 1).
+            for obs in 0..observers {
+                let claimed = !is_recovering(life);
+                prop_assert_eq!(claimed, obs == 0, "life {} observer {}", life, obs);
+            }
+            // Stale observers of earlier incarnations never claim.
+            for s in 0..stale_looks {
+                let stale = 1 + (s as u64 % life);
+                prop_assert!(is_recovering(stale), "stale life {} must not claim", stale);
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_update_cas_is_atomic() {
+    // 8 threads × 1000 increments on the same key = exactly 8000.
+    let m: std::sync::Arc<ShardedMap<u64>> = std::sync::Arc::new(ShardedMap::with_shards(4));
+    m.insert_if_absent(0, || 0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let m = std::sync::Arc::clone(&m);
+            s.spawn(move || {
+                for _ in 0..1000 {
+                    m.update_cas(0, |cur| {
+                        let v = cur.copied().unwrap() + 1;
+                        (Some(v), ())
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(m.get(0), Some(8000));
+}

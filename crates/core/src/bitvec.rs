@@ -1,0 +1,174 @@
+//! Atomic notification bit vector (Guarantee 3).
+//!
+//! "We retain a bit vector that tracks if the join counter has been
+//! decremented for a particular predecessor in the ordered list of
+//! predecessors. This bit vector is initialized to 1 for all bits. Each bit
+//! is unset when the corresponding predecessor is observed to have been
+//! computed […]. The join counter is decremented only if that bit is set."
+//!
+//! The vector has one bit per predecessor **plus one for the task itself**:
+//! `InitAndCompute` ends with a self-notification (`NotifyOnce(A, key, key)`)
+//! so the join counter starts at `|in(A)| + 1`; the self bit keeps that
+//! decrement exactly-once too (a reset node re-traverses and re-self-
+//! notifies).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-width vector of atomically clearable bits.
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// Create a vector of `len` bits, all set to 1.
+    pub fn new_all_set(len: usize) -> Self {
+        let nwords = len.div_ceil(64).max(1);
+        let words: Vec<AtomicU64> = (0..nwords)
+            .map(|w| {
+                let bits_in_word = if (w + 1) * 64 <= len {
+                    64
+                } else {
+                    len.saturating_sub(w * 64)
+                };
+                AtomicU64::new(if bits_in_word == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits_in_word) - 1
+                })
+            })
+            .collect();
+        AtomicBitVec { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `AtomicBitUnset`: clear bit `i`. Returns `true` iff the bit was set
+    /// (i.e. this caller won the right to decrement the join counter).
+    pub fn unset(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_and(!mask, Ordering::AcqRel);
+        prev & mask != 0
+    }
+
+    /// Read bit `i` (used by `ReinitNotifyEntry`: "if S.bitVector[ind]==1").
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
+    }
+
+    /// `SetAllBits`: restore every bit to 1 (used by `ResetNode`).
+    pub fn set_all(&self) {
+        for (w, word) in self.words.iter().enumerate() {
+            let bits_in_word = if (w + 1) * 64 <= self.len {
+                64
+            } else {
+                self.len.saturating_sub(w * 64)
+            };
+            let v = if bits_in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_in_word) - 1
+            };
+            word.store(v, Ordering::Release);
+        }
+    }
+
+    /// Number of set bits (diagnostics).
+    pub fn count_set(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn starts_all_set() {
+        for len in [0, 1, 5, 63, 64, 65, 128, 130] {
+            let v = AtomicBitVec::new_all_set(len);
+            assert_eq!(v.len(), len);
+            assert_eq!(v.count_set(), len, "len={len}");
+            for i in 0..len {
+                assert!(v.get(i), "bit {i} of {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn unset_returns_true_once() {
+        let v = AtomicBitVec::new_all_set(10);
+        assert!(v.unset(3));
+        assert!(!v.unset(3));
+        assert!(!v.get(3));
+        assert!(v.get(2));
+        assert_eq!(v.count_set(), 9);
+    }
+
+    #[test]
+    fn set_all_restores() {
+        let v = AtomicBitVec::new_all_set(100);
+        for i in 0..100 {
+            v.unset(i);
+        }
+        assert_eq!(v.count_set(), 0);
+        v.set_all();
+        assert_eq!(v.count_set(), 100);
+        // Bits beyond len must stay clear so count_set stays exact.
+        assert!(v.unset(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let v = AtomicBitVec::new_all_set(4);
+        v.unset(4);
+    }
+
+    #[test]
+    fn word_boundary_bits() {
+        let v = AtomicBitVec::new_all_set(65);
+        assert!(v.unset(63));
+        assert!(v.unset(64));
+        assert!(!v.unset(64));
+        assert_eq!(v.count_set(), 63);
+    }
+
+    #[test]
+    fn concurrent_unset_exactly_one_winner_per_bit() {
+        const BITS: usize = 256;
+        let v = Arc::new(AtomicBitVec::new_all_set(BITS));
+        let wins = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let v = Arc::clone(&v);
+                let wins = Arc::clone(&wins);
+                s.spawn(move || {
+                    for i in 0..BITS {
+                        if v.unset(i) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), BITS);
+        assert_eq!(v.count_set(), 0);
+    }
+}

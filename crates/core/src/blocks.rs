@@ -1,0 +1,484 @@
+//! Versioned data blocks with memory reuse.
+//!
+//! Section II: "we allow updates to data blocks, as long as the dependences
+//! specified ensure that all uses of a data block causally precede a
+//! subsequent definition (considered the next version) of the same block."
+//! Section VI evaluates *memory reuse* implementations in which later
+//! versions overwrite earlier ones, which is precisely what makes recovery
+//! interesting: "a fault might result in the need to use such a data block
+//! version after it has been overwritten", forcing re-execution of the
+//! chain of producers.
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The paper overwrites buffers in place; safe Rust models the identical
+//! lifecycle with **version eviction**: publishing version `v` of a block
+//! under `KeepLast(k)` evicts version `v − k`. A read of an evicted version
+//! fails with [`BlockError::Overwritten`] carrying the *producer task key*
+//! recorded at publish time, which the scheduler turns into the paper's
+//! producer re-execution chain. Versions republished during recovery
+//! (version < current latest) are marked recovery-resident and are never
+//! evicted again within the run — the retention relaxation the paper itself
+//! suggests ("could be ameliorated by retaining the intermediate versions
+//! in memory") and which guarantees recovery chains terminate.
+
+use crate::fault::Fault;
+use crate::graph::Key;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Dense identifier of a data block (application-chosen indexing).
+pub type BlockId = usize;
+
+/// Version number of a block (0 = first definition).
+pub type Version = u64;
+
+/// Producer key recorded for pinned (resilient input) versions.
+pub const RESILIENT_PRODUCER: Key = i64::MIN;
+
+/// Why a versioned read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// The version exists but was poisoned by a detected soft error.
+    Poisoned {
+        /// Task that produced the corrupt version.
+        producer: Key,
+    },
+    /// The version was evicted under the memory-reuse policy.
+    Overwritten {
+        /// Task that produced the evicted version.
+        producer: Key,
+    },
+    /// The version was never published — a scheduling invariant violation
+    /// (a task computed before its producer notified it).
+    Missing,
+}
+
+impl BlockError {
+    /// Convert to the scheduler-level [`Fault`], attributing the error to
+    /// the producing task.
+    pub fn into_fault(self) -> Fault {
+        match self {
+            BlockError::Poisoned { producer } => Fault::data(producer),
+            BlockError::Overwritten { producer } => Fault::overwritten(producer),
+            BlockError::Missing => {
+                panic!("read of a never-published block version: dependence bug")
+            }
+        }
+    }
+}
+
+/// How many versions of each block stay resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retention {
+    /// Single-assignment style: every version stays (LCS).
+    KeepAll,
+    /// Memory reuse: publishing version `v` evicts version `v − k`
+    /// (`KeepLast(1)` = plain reuse; `KeepLast(2)` = the paper's
+    /// two-version Floyd-Warshall configuration).
+    KeepLast(u64),
+}
+
+struct VersionEntry<T> {
+    data: Arc<Vec<T>>,
+    producer: Key,
+    poisoned: bool,
+    /// Republished by recovery below the current latest; never evict.
+    recovery_resident: bool,
+}
+
+struct BlockState<T> {
+    versions: BTreeMap<Version, VersionEntry<T>>,
+    /// Highest version ever published.
+    latest: Option<Version>,
+    /// Producer of every version ever published (tombstones for eviction
+    /// attribution). Small: one `(u64, i64)` pair per version.
+    producers: BTreeMap<Version, Key>,
+}
+
+impl<T> BlockState<T> {
+    fn new() -> Self {
+        BlockState {
+            versions: BTreeMap::new(),
+            latest: None,
+            producers: BTreeMap::new(),
+        }
+    }
+}
+
+/// A store of versioned data blocks shared by an application's tasks.
+pub struct BlockStore<T> {
+    blocks: Vec<Mutex<BlockState<T>>>,
+    retention: Retention,
+    evictions: AtomicU64,
+    republishes: AtomicU64,
+}
+
+impl<T: Send> BlockStore<T> {
+    /// Create a store of `nblocks` blocks under the given retention policy.
+    pub fn new(nblocks: usize, retention: Retention) -> Self {
+        if let Retention::KeepLast(k) = retention {
+            assert!(k >= 1, "KeepLast requires k >= 1");
+        }
+        BlockStore {
+            blocks: (0..nblocks)
+                .map(|_| Mutex::new(BlockState::new()))
+                .collect(),
+            retention,
+            evictions: AtomicU64::new(0),
+            republishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The configured retention policy.
+    pub fn retention(&self) -> Retention {
+        self.retention
+    }
+
+    /// Publish version `version` of `block`, produced by task `producer`.
+    ///
+    /// Publishing a **new latest** version applies the retention policy
+    /// (possibly evicting the version sliding out of the window).
+    /// Publishing an **older** version (recovery re-execution) reinstates it
+    /// as recovery-resident. Re-publishing an existing version replaces its
+    /// data and clears any poison (the recovered producer recreated it).
+    pub fn publish(&self, block: BlockId, version: Version, producer: Key, data: Vec<T>) {
+        let mut st = self.blocks[block].lock();
+        // Pinned versions are resilient inputs: no task legitimately
+        // redefines them, and they must stay pinned. Ignore such writes.
+        if matches!(st.versions.get(&version), Some(e) if e.producer == RESILIENT_PRODUCER) {
+            return;
+        }
+        let is_new_latest = st.latest.map(|l| version > l).unwrap_or(true);
+        let recovery_resident = !is_new_latest && !st.versions.contains_key(&version);
+        if !is_new_latest {
+            self.republishes.fetch_add(1, Ordering::Relaxed);
+        }
+        st.producers.insert(version, producer);
+        st.versions.insert(
+            version,
+            VersionEntry {
+                data: Arc::new(data),
+                producer,
+                poisoned: false,
+                recovery_resident,
+            },
+        );
+        if is_new_latest {
+            st.latest = Some(version);
+            if let Retention::KeepLast(k) = self.retention {
+                // The version sliding out of the window. Pinned (resilient)
+                // and recovery-resident versions are exempt.
+                if version >= k {
+                    let out = version - k;
+                    let evict = matches!(
+                        st.versions.get(&out),
+                        Some(e) if !e.recovery_resident && e.producer != RESILIENT_PRODUCER
+                    );
+                    if evict {
+                        st.versions.remove(&out);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publish a pinned version that is never evicted nor poisoned — used
+    /// for initial inputs, which the paper assumes are "made resilient
+    /// through other means".
+    pub fn publish_pinned(&self, block: BlockId, version: Version, data: Vec<T>) {
+        let mut st = self.blocks[block].lock();
+        if st.latest.map(|l| version > l).unwrap_or(true) {
+            st.latest = Some(version);
+        }
+        st.producers.insert(version, RESILIENT_PRODUCER);
+        st.versions.insert(
+            version,
+            VersionEntry {
+                data: Arc::new(data),
+                producer: RESILIENT_PRODUCER,
+                poisoned: false,
+                recovery_resident: false,
+            },
+        );
+    }
+
+    /// Read version `version` of `block`. Fails with the producing task if
+    /// the version is poisoned or was evicted.
+    pub fn read(&self, block: BlockId, version: Version) -> Result<Arc<Vec<T>>, BlockError> {
+        let st = self.blocks[block].lock();
+        match st.versions.get(&version) {
+            Some(e) if e.poisoned => Err(BlockError::Poisoned {
+                producer: e.producer,
+            }),
+            Some(e) => Ok(Arc::clone(&e.data)),
+            None => match st.producers.get(&version) {
+                Some(&producer) => Err(BlockError::Overwritten { producer }),
+                None => Err(BlockError::Missing),
+            },
+        }
+    }
+
+    /// Read the *latest* version of `block` (diagnostics/verification).
+    pub fn read_latest(&self, block: BlockId) -> Result<(Version, Arc<Vec<T>>), BlockError> {
+        let st = self.blocks[block].lock();
+        let latest = st.latest.ok_or(BlockError::Missing)?;
+        match st.versions.get(&latest) {
+            Some(e) if e.poisoned => Err(BlockError::Poisoned {
+                producer: e.producer,
+            }),
+            Some(e) => Ok((latest, Arc::clone(&e.data))),
+            None => Err(BlockError::Missing),
+        }
+    }
+
+    /// Latest published version of `block`, if any.
+    pub fn latest_version(&self, block: BlockId) -> Option<Version> {
+        self.blocks[block].lock().latest
+    }
+
+    /// Poison version `version` of `block` (fault injection). Pinned
+    /// versions are resilient and ignore poisoning. Returns true if a
+    /// resident version was poisoned.
+    pub fn poison(&self, block: BlockId, version: Version) -> bool {
+        let mut st = self.blocks[block].lock();
+        match st.versions.get_mut(&version) {
+            Some(e) if e.producer != RESILIENT_PRODUCER => {
+                e.poisoned = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True if `block` currently holds `version` un-poisoned.
+    pub fn is_live(&self, block: BlockId, version: Version) -> bool {
+        let st = self.blocks[block].lock();
+        matches!(st.versions.get(&version), Some(e) if !e.poisoned)
+    }
+
+    /// Total evictions performed (memory-reuse overwrites).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total recovery republishes of old versions.
+    pub fn republishes(&self) -> u64 {
+        self.republishes.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident versions of `block` (diagnostics).
+    pub fn resident_versions(&self, block: BlockId) -> usize {
+        self.blocks[block].lock().versions.len()
+    }
+}
+
+impl<T: Send + Clone> BlockStore<T> {
+    /// Export the latest un-poisoned version of every block — the generic
+    /// checkpoint primitive behind application-level snapshot/resume
+    /// (see `Fw::snapshot_tiles`). Blocks whose latest version is poisoned
+    /// or missing are skipped (their producers would be re-executed on
+    /// restore anyway).
+    pub fn export_latest(&self) -> Vec<(BlockId, Version, Vec<T>)> {
+        let mut out = Vec::new();
+        for bid in 0..self.blocks.len() {
+            let st = self.blocks[bid].lock();
+            if let Some(latest) = st.latest {
+                if let Some(e) = st.versions.get(&latest) {
+                    if !e.poisoned {
+                        out.push((bid, latest, e.data.as_ref().clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Import a checkpoint produced by [`BlockStore::export_latest`] into a
+    /// fresh store: every entry becomes a pinned (resilient) version.
+    pub fn import_pinned(&self, snapshot: Vec<(BlockId, Version, Vec<T>)>) {
+        for (bid, version, data) in snapshot {
+            self.publish_pinned(bid, version, data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_read_roundtrip() {
+        let s: BlockStore<f64> = BlockStore::new(2, Retention::KeepAll);
+        s.publish(0, 0, 100, vec![1.0, 2.0]);
+        let d = s.read(0, 0).unwrap();
+        assert_eq!(&*d, &vec![1.0, 2.0]);
+        assert_eq!(s.latest_version(0), Some(0));
+        assert_eq!(s.latest_version(1), None);
+    }
+
+    #[test]
+    fn keep_all_retains_everything() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepAll);
+        for v in 0..10 {
+            s.publish(0, v, v as Key, vec![v as u32]);
+        }
+        for v in 0..10 {
+            assert_eq!(&*s.read(0, v).unwrap(), &vec![v as u32]);
+        }
+        assert_eq!(s.evictions(), 0);
+        assert_eq!(s.resident_versions(0), 10);
+    }
+
+    #[test]
+    fn keep_last_one_evicts_previous() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepLast(1));
+        s.publish(0, 0, 100, vec![0]);
+        s.publish(0, 1, 101, vec![1]);
+        assert_eq!(s.read(0, 0), Err(BlockError::Overwritten { producer: 100 }));
+        assert!(s.read(0, 1).is_ok());
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn keep_last_two_window() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepLast(2));
+        for v in 0..5 {
+            s.publish(0, v, 100 + v as Key, vec![v as u32]);
+        }
+        // Versions 3 and 4 resident; 0..2 evicted.
+        assert!(matches!(
+            s.read(0, 2),
+            Err(BlockError::Overwritten { producer: 102 })
+        ));
+        assert!(s.read(0, 3).is_ok());
+        assert!(s.read(0, 4).is_ok());
+        assert_eq!(s.evictions(), 3);
+    }
+
+    #[test]
+    fn recovery_republish_is_never_evicted() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepLast(1));
+        s.publish(0, 0, 100, vec![0]);
+        s.publish(0, 1, 101, vec![1]); // evicts v0
+        s.publish(0, 0, 100, vec![0]); // recovery republish
+        assert_eq!(s.republishes(), 1);
+        assert!(s.read(0, 0).is_ok());
+        s.publish(0, 2, 102, vec![2]); // evicts v1, NOT the resident v0
+        assert!(s.read(0, 0).is_ok(), "recovery-resident version survives");
+        assert!(matches!(s.read(0, 1), Err(BlockError::Overwritten { .. })));
+    }
+
+    #[test]
+    fn republish_existing_version_clears_poison() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepAll);
+        s.publish(0, 0, 100, vec![1]);
+        assert!(s.poison(0, 0));
+        assert_eq!(s.read(0, 0), Err(BlockError::Poisoned { producer: 100 }));
+        s.publish(0, 0, 100, vec![2]);
+        assert_eq!(&*s.read(0, 0).unwrap(), &vec![2]);
+    }
+
+    #[test]
+    fn pinned_versions_resist_poison_and_eviction() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepLast(1));
+        s.publish_pinned(0, 0, vec![7]);
+        assert!(!s.poison(0, 0), "pinned versions cannot be poisoned");
+        s.publish(0, 1, 101, vec![8]);
+        s.publish(0, 2, 102, vec![9]);
+        assert!(s.read(0, 0).is_ok(), "pinned version survives eviction");
+        assert!(matches!(s.read(0, 1), Err(BlockError::Overwritten { .. })));
+    }
+
+    #[test]
+    fn missing_version_reports_missing() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepAll);
+        assert_eq!(s.read(0, 5), Err(BlockError::Missing));
+        assert!(s.read_latest(0).is_err());
+    }
+
+    #[test]
+    fn poison_missing_version_returns_false() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepAll);
+        assert!(!s.poison(0, 3));
+    }
+
+    #[test]
+    fn into_fault_attribution() {
+        let e = BlockError::Poisoned { producer: 42 };
+        let f = e.into_fault();
+        assert_eq!(f.source, 42);
+        assert_eq!(f.kind, crate::fault::FaultKind::Data);
+        let e = BlockError::Overwritten { producer: 9 };
+        assert_eq!(e.into_fault().kind, crate::fault::FaultKind::Overwritten);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependence bug")]
+    fn missing_into_fault_panics() {
+        BlockError::Missing.into_fault();
+    }
+
+    #[test]
+    fn is_live_reflects_state() {
+        let s: BlockStore<u32> = BlockStore::new(1, Retention::KeepAll);
+        assert!(!s.is_live(0, 0));
+        s.publish(0, 0, 1, vec![1]);
+        assert!(s.is_live(0, 0));
+        s.poison(0, 0);
+        assert!(!s.is_live(0, 0));
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let a: BlockStore<u32> = BlockStore::new(3, Retention::KeepLast(2));
+        a.publish(0, 0, 10, vec![1]);
+        a.publish(0, 1, 11, vec![2]);
+        a.publish(1, 5, 15, vec![3]);
+        // Block 2 never published; block 0 latest poisoned.
+        a.publish(2, 0, 20, vec![9]);
+        a.poison(2, 0);
+        let snap = a.export_latest();
+        assert_eq!(snap.len(), 2, "poisoned/missing latests skipped");
+
+        let b: BlockStore<u32> = BlockStore::new(3, Retention::KeepLast(2));
+        b.import_pinned(snap);
+        assert_eq!(&*b.read(0, 1).unwrap(), &vec![2]);
+        assert_eq!(&*b.read(1, 5).unwrap(), &vec![3]);
+        assert!(b.read(2, 0).is_err());
+        // Imported versions are pinned: survive later eviction pressure.
+        b.publish(0, 2, 30, vec![4]);
+        b.publish(0, 3, 31, vec![5]);
+        b.publish(0, 4, 32, vec![6]);
+        assert!(b.read(0, 1).is_ok(), "pinned checkpoint survives");
+    }
+
+    #[test]
+    fn concurrent_publish_read() {
+        let s = std::sync::Arc::new(BlockStore::<u64>::new(4, Retention::KeepLast(2)));
+        std::thread::scope(|scope| {
+            for b in 0..4usize {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for v in 0..100u64 {
+                        s.publish(b, v, (b * 1000 + v as usize) as Key, vec![v; 8]);
+                        // Latest must always be readable.
+                        let (lv, data) = s.read_latest(b).unwrap();
+                        assert_eq!(data[0], lv);
+                    }
+                });
+            }
+        });
+        for b in 0..4 {
+            assert_eq!(s.latest_version(b), Some(99));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The detected-soft-error model.
+//!
+//! Section II: "a soft error affecting a task affects the computation only
+//! if the description of the task or any of its outputs is affected.
+//! Therefore, we focus on recovery from corruption of data blocks or task
+//! descriptors […] once it is detected. […] We also assume that once an
+//! error is detected, all subsequent accesses to that object will observe
+//! the error."
+//!
+//! Cilk++'s exceptions become `Result`s here: every guarded access to a
+//! descriptor or block version returns `Err(Fault)` once the object is
+//! poisoned, and the scheduler's `match` arms are the paper's catch blocks.
+
+use crate::graph::Key;
+
+/// What kind of corruption was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The task descriptor (join counter, notify array, status, …) is
+    /// corrupt.
+    Descriptor,
+    /// A data-block version produced by the source task is corrupt.
+    Data,
+    /// A data-block version was overwritten (evicted under the memory-reuse
+    /// policy) and must be reproduced by re-executing its producer
+    /// ("a fault might result in the need to use such a data block version
+    /// after it has been overwritten").
+    Overwritten,
+}
+
+/// A detected error, attributed to the task whose state is corrupt.
+///
+/// Attribution is what lets `ComputeAndNotify`'s catch block decide between
+/// "error in A → recover A" and "error elsewhere → reset A and recover the
+/// source" (Guarantee 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The task whose descriptor or output is corrupt.
+    pub source: Key,
+    /// The kind of corruption.
+    pub kind: FaultKind,
+    /// Life number of the corrupt incarnation, when known (0 = unknown;
+    /// recovery then resolves the current incarnation from the task map).
+    pub life: u64,
+}
+
+impl Fault {
+    /// Descriptor corruption of `source` at incarnation `life`.
+    pub fn descriptor(source: Key, life: u64) -> Self {
+        Fault {
+            source,
+            kind: FaultKind::Descriptor,
+            life,
+        }
+    }
+
+    /// Data corruption produced by `source`.
+    pub fn data(source: Key) -> Self {
+        Fault {
+            source,
+            kind: FaultKind::Data,
+            life: 0,
+        }
+    }
+
+    /// An overwritten (evicted) version produced by `source`.
+    pub fn overwritten(source: Key) -> Self {
+        Fault {
+            source,
+            kind: FaultKind::Overwritten,
+            life: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault in task {} (kind {:?}, life {})",
+            self.source, self.kind, self.life
+        )
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = Fault::descriptor(5, 2);
+        assert_eq!(f.source, 5);
+        assert_eq!(f.kind, FaultKind::Descriptor);
+        assert_eq!(f.life, 2);
+
+        let f = Fault::data(7);
+        assert_eq!(f.kind, FaultKind::Data);
+        assert_eq!(f.life, 0);
+
+        let f = Fault::overwritten(9);
+        assert_eq!(f.kind, FaultKind::Overwritten);
+    }
+
+    #[test]
+    fn display_mentions_source() {
+        let f = Fault::data(42);
+        let s = format!("{f}");
+        assert!(s.contains("42"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The user-facing task-graph specification.
+//!
+//! Section III of the paper: "the fault-tolerant scheduling algorithm relies
+//! on the following information from the user about the task graph": a
+//! unique **task key** per task, the **sink task**, ordered **predecessor
+//! and successor** functions, and a **compute** function. This module is
+//! that contract.
+
+use crate::fault::Fault;
+
+/// Unique identifier of a task. The paper fixes `int64_t`.
+pub type Key = i64;
+
+/// Context handed to [`TaskGraph::compute`].
+///
+/// Carries runtime facts a compute function may want: which incarnation
+/// (life number) is executing, whether this execution is a recovery
+/// re-execution, and the worker running it. Applications read/write their
+/// data blocks through their own [`crate::blocks::BlockStore`]; detected
+/// data faults are reported back by returning `Err` (the paper's
+/// "errors are reported back to the runtime through exceptions").
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeCtx<'a> {
+    /// Life number of the incarnation being executed (1 = original).
+    pub life: u64,
+    /// True when this execution was started by the recovery path.
+    pub is_recovery: bool,
+    /// Index of the executing worker, if run on a pool worker.
+    pub worker: Option<usize>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> ComputeCtx<'a> {
+    /// Construct a context (used by the schedulers and the sequential
+    /// executor).
+    pub fn new(life: u64, is_recovery: bool, worker: Option<usize>) -> Self {
+        ComputeCtx {
+            life,
+            is_recovery,
+            worker,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A dynamic task graph, specified exactly as the paper's Section III
+/// requires.
+///
+/// Implementations must be deterministic: `predecessors`/`successors` must
+/// return the same ordered lists for the same key every time (the
+/// notification bit vector indexes into the ordered predecessor list), and
+/// `compute` must be **stateless** — the same inputs produce the same
+/// outputs (Theorem 1 relies on this).
+pub trait TaskGraph: Send + Sync {
+    /// The unique task that transitively depends on all others.
+    fn sink(&self) -> Key;
+
+    /// Ordered list of immediate predecessors of `key`.
+    fn predecessors(&self, key: Key) -> Vec<Key>;
+
+    /// Ordered list of immediate successors of `key`. Only consulted by the
+    /// recovery path (`RecoverTask` walks successors to rebuild the notify
+    /// array) and by graph analysis.
+    fn successors(&self, key: Key) -> Vec<Key>;
+
+    /// The task body. Reads this task's input data blocks, writes its
+    /// output blocks. A detected fault in an input (poisoned or evicted
+    /// block version) is returned as `Err(fault)` carrying the *source*
+    /// task whose data is corrupt.
+    fn compute(&self, key: Key, ctx: &ComputeCtx<'_>) -> Result<(), Fault>;
+
+    /// Poison every data-block version this task has produced. Called by
+    /// the fault injector when a planned fault fires on `key` ("a fault
+    /// affects both a task and the data blocks it has computed"). Default:
+    /// the graph has no block store.
+    fn poison_outputs(&self, key: Key) {
+        let _ = key;
+    }
+
+    /// Roots (tasks with no predecessors), if cheaply enumerable. Only used
+    /// by diagnostics; default derives nothing.
+    fn source_hint(&self) -> Option<Vec<Key>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Line;
+    impl TaskGraph for Line {
+        fn sink(&self) -> Key {
+            2
+        }
+        fn predecessors(&self, key: Key) -> Vec<Key> {
+            if key == 0 {
+                vec![]
+            } else {
+                vec![key - 1]
+            }
+        }
+        fn successors(&self, key: Key) -> Vec<Key> {
+            if key == 2 {
+                vec![]
+            } else {
+                vec![key + 1]
+            }
+        }
+        fn compute(&self, _key: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_object_safe() {
+        let g: Box<dyn TaskGraph> = Box::new(Line);
+        assert_eq!(g.sink(), 2);
+        assert_eq!(g.predecessors(2), vec![1]);
+        assert_eq!(g.successors(0), vec![1]);
+        assert!(g.source_hint().is_none());
+        g.poison_outputs(0); // default no-op
+    }
+
+    #[test]
+    fn compute_ctx_fields() {
+        let ctx = ComputeCtx::new(3, true, Some(7));
+        assert_eq!(ctx.life, 3);
+        assert!(ctx.is_recovery);
+        assert_eq!(ctx.worker, Some(7));
+    }
+}

@@ -1,0 +1,275 @@
+//! Fault-injection campaigns (Section VI methodology).
+//!
+//! "To simulate faults, we a priori identify the tasks that would fail and
+//! the point in their lifetimes where they would fail. When a fault is
+//! injected, a flag is set to mark the fault, which is then observed by a
+//! thread accessing that task."
+//!
+//! A [`FaultPlan`] is that a-priori identification: a set of task keys,
+//! each with a lifecycle [`Phase`] and a fire budget (1 for the paper's
+//! experiments; >1 exercises Guarantee 6 — failures during recovery are
+//! recursively recovered). The fault-tolerant scheduler consults the plan
+//! at each lifecycle point; a firing site poisons the task descriptor and
+//! the task's output block versions.
+
+use crate::graph::Key;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The point in a task's lifetime at which a planned fault fires
+/// (Section VI, "Time": before compute, after compute, after notify).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Task has traversed its predecessors and is waiting to be scheduled;
+    /// no computed work is lost.
+    BeforeCompute,
+    /// Task computed but has not yet notified successors; its computation
+    /// is lost and must be redone.
+    AfterCompute,
+    /// Task finished notifying successors; the fault is observed only if a
+    /// later consumer still needs this task's descriptor or data.
+    AfterNotify,
+}
+
+/// One planned fault site.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSite {
+    /// Task to fail.
+    pub key: Key,
+    /// Lifecycle point at which to fail it.
+    pub phase: Phase,
+    /// How many lifecycle passages fire (1 = fail once; k = also fail the
+    /// first k−1 recovery incarnations, exercising recursive recovery).
+    pub fires: u64,
+}
+
+impl FaultSite {
+    /// A classic single-shot fault.
+    pub fn once(key: Key, phase: Phase) -> Self {
+        FaultSite {
+            key,
+            phase,
+            fires: 1,
+        }
+    }
+}
+
+struct SiteState {
+    phase: Phase,
+    remaining: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// An immutable set of planned fault sites with atomic fire bookkeeping.
+#[derive(Default)]
+pub struct FaultPlan {
+    sites: HashMap<Key, SiteState>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the paper's "FT support, no failures" runs).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit sites. At most one site per key (the
+    /// paper injects at most one fault per task); later duplicates replace
+    /// earlier ones.
+    pub fn new(sites: impl IntoIterator<Item = FaultSite>) -> Self {
+        let mut map = HashMap::new();
+        for s in sites {
+            map.insert(
+                s.key,
+                SiteState {
+                    phase: s.phase,
+                    remaining: AtomicU64::new(s.fires),
+                    fired: AtomicU64::new(0),
+                },
+            );
+        }
+        FaultPlan { sites: map }
+    }
+
+    /// Single-site convenience.
+    pub fn single(key: Key, phase: Phase) -> Self {
+        Self::new([FaultSite::once(key, phase)])
+    }
+
+    /// Sample `count` distinct keys from `candidates` (uniformly, seeded)
+    /// and fail each once at `phase`. This is the paper's "randomly inject
+    /// failures […] to effect the loss of a constant amount of work or a
+    /// certain percentage of the total work".
+    pub fn sample(candidates: &[Key], count: usize, phase: Phase, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut keys: Vec<Key> = candidates.to_vec();
+        keys.shuffle(&mut rng);
+        keys.truncate(count.min(keys.len()));
+        Self::new(keys.into_iter().map(|k| FaultSite::once(k, phase)))
+    }
+
+    /// Consult the plan at a lifecycle point. Returns `true` exactly when a
+    /// planned fault fires now (the caller then poisons the task).
+    pub fn fire(&self, key: Key, phase: Phase) -> bool {
+        let Some(site) = self.sites.get(&key) else {
+            return false;
+        };
+        if site.phase != phase {
+            return false;
+        }
+        // Atomically consume one fire if any remain.
+        let mut cur = site.remaining.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return false;
+            }
+            match site.remaining.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    site.fired.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of planned sites.
+    pub fn planned(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total faults fired so far.
+    pub fn fired(&self) -> u64 {
+        self.sites
+            .values()
+            .map(|s| s.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Keys of sites that never fired (diagnostics: e.g. after-notify sites
+    /// whose task was never revisited are *expected* to fire but possibly
+    /// never be observed; a site that did not fire means the task's
+    /// lifecycle point was never reached).
+    pub fn unfired_keys(&self) -> Vec<Key> {
+        let mut v: Vec<Key> = self
+            .sites
+            .iter()
+            .filter(|(_, s)| s.fired.load(Ordering::Relaxed) == 0)
+            .map(|(&k, _)| k)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Reset all fire budgets to their original values — *not* supported;
+    /// build a fresh plan per run instead. Present to document the
+    /// single-use contract.
+    pub fn is_exhausted(&self) -> bool {
+        self.sites
+            .values()
+            .all(|s| s.remaining.load(Ordering::Relaxed) == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let p = FaultPlan::none();
+        assert!(!p.fire(1, Phase::BeforeCompute));
+        assert_eq!(p.planned(), 0);
+        assert_eq!(p.fired(), 0);
+        assert!(p.is_exhausted());
+    }
+
+    #[test]
+    fn single_fires_once_at_matching_phase() {
+        let p = FaultPlan::single(5, Phase::AfterCompute);
+        assert!(!p.fire(5, Phase::BeforeCompute), "wrong phase");
+        assert!(!p.fire(4, Phase::AfterCompute), "wrong key");
+        assert!(p.fire(5, Phase::AfterCompute));
+        assert!(!p.fire(5, Phase::AfterCompute), "budget spent");
+        assert_eq!(p.fired(), 1);
+        assert!(p.is_exhausted());
+    }
+
+    #[test]
+    fn multi_fire_site() {
+        let p = FaultPlan::new([FaultSite {
+            key: 1,
+            phase: Phase::AfterCompute,
+            fires: 3,
+        }]);
+        assert!(p.fire(1, Phase::AfterCompute));
+        assert!(p.fire(1, Phase::AfterCompute));
+        assert!(p.fire(1, Phase::AfterCompute));
+        assert!(!p.fire(1, Phase::AfterCompute));
+        assert_eq!(p.fired(), 3);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_distinct() {
+        let candidates: Vec<Key> = (0..100).collect();
+        let a = FaultPlan::sample(&candidates, 10, Phase::AfterCompute, 42);
+        let b = FaultPlan::sample(&candidates, 10, Phase::AfterCompute, 42);
+        assert_eq!(a.planned(), 10);
+        let mut ka = a.unfired_keys();
+        let kb = b.unfired_keys();
+        assert_eq!(ka, kb, "same seed, same sample");
+        ka.dedup();
+        assert_eq!(ka.len(), 10, "distinct keys");
+        let c = FaultPlan::sample(&candidates, 10, Phase::AfterCompute, 43);
+        assert_ne!(a.unfired_keys(), c.unfired_keys(), "different seed differs");
+    }
+
+    #[test]
+    fn sample_count_clamped_to_candidates() {
+        let p = FaultPlan::sample(&[1, 2, 3], 10, Phase::BeforeCompute, 0);
+        assert_eq!(p.planned(), 3);
+    }
+
+    #[test]
+    fn concurrent_fire_consumes_budget_exactly() {
+        use std::sync::atomic::AtomicUsize;
+        let p = std::sync::Arc::new(FaultPlan::new([FaultSite {
+            key: 7,
+            phase: Phase::AfterCompute,
+            fires: 100,
+        }]));
+        let hits = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let p = std::sync::Arc::clone(&p);
+                let hits = std::sync::Arc::clone(&hits);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if p.fire(7, Phase::AfterCompute) {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(p.fired(), 100);
+    }
+
+    #[test]
+    fn unfired_keys_tracks_observation() {
+        let p = FaultPlan::new([
+            FaultSite::once(1, Phase::AfterCompute),
+            FaultSite::once(2, Phase::AfterCompute),
+        ]);
+        p.fire(1, Phase::AfterCompute);
+        assert_eq!(p.unfired_keys(), vec![2]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The baseline NABBIT scheduler — Figure 2, non-shaded portions only.
+//!
+//! Execution begins by inserting the **sink** task and invoking
+//! `InitAndCompute` on it. The traversal expands the task graph bottom-up
+//! (toward the sources): `TryInitCompute` creates each predecessor on first
+//! touch and either registers the current task in the predecessor's notify
+//! array (predecessor not yet computed) or directly notifies the current
+//! task. A task whose join counter reaches zero runs `ComputeAndNotify`,
+//! which executes the user compute function and drains the notify array.
+//!
+//! Every traversal step is a work-stealing job ("the creation and
+//! computation of the predecessors of a given task are concurrent and can
+//! be executed by different threads").
+
+use crate::graph::{ComputeCtx, Key, TaskGraph};
+use crate::metrics::{RunMetrics, RunReport};
+use crate::task::{BaseDesc, Status};
+use ft_cmap::ShardedMap;
+use ft_steal::pool::{Pool, Scope};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The non-fault-tolerant NABBIT scheduler.
+pub struct BaselineScheduler {
+    graph: Arc<dyn TaskGraph>,
+    map: ShardedMap<Arc<BaseDesc>>,
+    metrics: RunMetrics,
+}
+
+impl BaselineScheduler {
+    /// Create a scheduler for `graph`. One scheduler instance = one run.
+    pub fn new(graph: Arc<dyn TaskGraph>) -> Arc<Self> {
+        Arc::new(BaselineScheduler {
+            graph,
+            map: ShardedMap::new(),
+            metrics: RunMetrics::new(),
+        })
+    }
+
+    /// Execute the task graph to completion on `pool`; returns run
+    /// statistics. Panics if any compute returns a fault — the baseline
+    /// scheduler, like the paper's, has no recovery path.
+    pub fn run(self: &Arc<Self>, pool: &Pool) -> RunReport {
+        let start = Instant::now();
+        let sink = self.graph.sink();
+        self.insert_if_absent(sink);
+        let sd = self.map.get(sink).expect("sink just inserted");
+        pool.run_until_complete(|scope| {
+            let this = Arc::clone(self);
+            let sd = Arc::clone(&sd);
+            scope.spawn(move |s| this.init_and_compute(s, sd));
+        });
+        let mut report = self.metrics.snapshot();
+        report.sink_completed = self
+            .map
+            .get(sink)
+            .map(|d| d.status() == Status::Completed)
+            .unwrap_or(false);
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    /// Number of task descriptors created (diagnostics).
+    pub fn tasks_created(&self) -> usize {
+        self.map.len()
+    }
+
+    fn insert_if_absent(&self, key: Key) -> bool {
+        self.map.insert_if_absent(key, || {
+            Arc::new(BaseDesc::new(key, self.graph.predecessors(key)))
+        })
+    }
+
+    /// `InitAndCompute(A)`: traverse immediate predecessors, then
+    /// self-notify (consuming the `+1` in the join counter).
+    fn init_and_compute(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>) {
+        for pkey in a.preds.clone() {
+            let this = Arc::clone(self);
+            let a2 = Arc::clone(&a);
+            s.spawn(move |s| this.try_init_compute(s, a2, pkey));
+        }
+        let key = a.key;
+        self.notify_once(s, a, key);
+    }
+
+    /// `TryInitCompute(A, pkey)`: create/visit predecessor `pkey`; register
+    /// A for notification or observe completion.
+    fn try_init_compute(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>, pkey: Key) {
+        let inserted = self.insert_if_absent(pkey);
+        let b = self.map.get(pkey).expect("predecessor just ensured");
+        if inserted {
+            let this = Arc::clone(self);
+            let b2 = Arc::clone(&b);
+            s.spawn(move |s| this.init_and_compute(s, b2));
+        }
+        let finished = {
+            // The status read must happen under B's notify lock: it pairs
+            // with ComputeAndNotify's locked length re-check so a
+            // registration can never be missed.
+            let mut g = b.notify.lock();
+            if b.status() < Status::Computed {
+                g.push(a.key);
+                false
+            } else {
+                true
+            }
+        };
+        if finished {
+            self.notify_once(s, a, pkey);
+        }
+    }
+
+    /// `NotifyOnce(A, pkey)`: decrement the join counter; execute A when it
+    /// reaches zero.
+    fn notify_once(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>, _pkey: Key) {
+        self.metrics.notifications.fetch_add(1, Ordering::Relaxed);
+        let val = a.join.fetch_sub(1, Ordering::AcqRel) - 1;
+        debug_assert!(
+            val >= 0,
+            "baseline join counter underflow on task {}",
+            a.key
+        );
+        if val == 0 {
+            self.compute_and_notify(s, a);
+        }
+    }
+
+    /// `ComputeAndNotify(A)`: run the user compute, transition to Computed,
+    /// drain the notify array, transition to Completed.
+    fn compute_and_notify(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>) {
+        let ctx = ComputeCtx::new(1, false, s.worker_index());
+        self.graph
+            .compute(a.key, &ctx)
+            .unwrap_or_else(|f| panic!("baseline scheduler has no recovery path: {f}"));
+        self.metrics.record_compute(a.key);
+        a.set_status(Status::Computed);
+
+        let mut notified = 0usize;
+        loop {
+            let batch: Vec<Key> = {
+                let g = a.notify.lock();
+                g[notified..].to_vec()
+            };
+            for skey in &batch {
+                let this = Arc::clone(self);
+                let skey = *skey;
+                let key = a.key;
+                s.spawn(move |s| this.notify_successor(s, key, skey));
+            }
+            notified += batch.len();
+            let g = a.notify.lock();
+            if g.len() == notified {
+                a.set_status(Status::Completed);
+                return;
+            }
+        }
+    }
+
+    /// `NotifySuccessor(key, skey)`.
+    fn notify_successor(self: &Arc<Self>, s: &Scope<'_>, key: Key, skey: Key) {
+        let Some(sd) = self.map.get(skey) else {
+            debug_assert!(false, "successor {skey} vanished from the task map");
+            return;
+        };
+        self.notify_once(s, sd, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use ft_steal::pool::PoolConfig;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    /// A 2-D wavefront grid graph: (i,j) depends on (i-1,j) and (i,j-1);
+    /// sink is (n-1, n-1); key = i*n + j.
+    struct Grid {
+        n: i64,
+        computed: Mutex<Vec<Key>>,
+    }
+
+    impl Grid {
+        fn new(n: i64) -> Self {
+            Grid {
+                n,
+                computed: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl TaskGraph for Grid {
+        fn sink(&self) -> Key {
+            self.n * self.n - 1
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            let (i, j) = (k / self.n, k % self.n);
+            let mut p = Vec::new();
+            if i > 0 {
+                p.push((i - 1) * self.n + j);
+            }
+            if j > 0 {
+                p.push(i * self.n + (j - 1));
+            }
+            p
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            let (i, j) = (k / self.n, k % self.n);
+            let mut su = Vec::new();
+            if i + 1 < self.n {
+                su.push((i + 1) * self.n + j);
+            }
+            if j + 1 < self.n {
+                su.push(i * self.n + (j + 1));
+            }
+            su
+        }
+        fn compute(&self, k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+            self.computed.lock().push(k);
+            Ok(())
+        }
+    }
+
+    fn run_grid(n: i64, threads: usize) -> (Arc<Grid>, RunReport) {
+        let g = Arc::new(Grid::new(n));
+        let pool = Pool::new(PoolConfig::with_threads(threads));
+        let sched = BaselineScheduler::new(Arc::clone(&g) as Arc<dyn TaskGraph>);
+        let report = sched.run(&pool);
+        (g, report)
+    }
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let (g, report) = run_grid(16, 4);
+        let order = g.computed.lock();
+        assert_eq!(order.len(), 256);
+        let unique: HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), 256, "no task executed twice");
+        assert!(report.sink_completed);
+        assert_eq!(report.computes, 256);
+        assert_eq!(report.re_executions, 0);
+    }
+
+    #[test]
+    fn respects_dependence_order() {
+        let (g, _) = run_grid(8, 4);
+        let order = g.computed.lock();
+        let pos: std::collections::HashMap<Key, usize> =
+            order.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        for &k in order.iter() {
+            for p in g.predecessors(k) {
+                assert!(pos[&p] < pos[&k], "pred {p} must precede {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_task_graph() {
+        struct One(AtomicU64);
+        impl TaskGraph for One {
+            fn sink(&self) -> Key {
+                0
+            }
+            fn predecessors(&self, _: Key) -> Vec<Key> {
+                vec![]
+            }
+            fn successors(&self, _: Key) -> Vec<Key> {
+                vec![]
+            }
+            fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+        let g = Arc::new(One(AtomicU64::new(0)));
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let sched = BaselineScheduler::new(Arc::clone(&g) as _);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(g.0.load(Ordering::Relaxed), 1);
+        assert_eq!(sched.tasks_created(), 1);
+    }
+
+    #[test]
+    fn chain_graph_sequential_dependences() {
+        struct Chain {
+            len: i64,
+            acc: AtomicU64,
+        }
+        impl TaskGraph for Chain {
+            fn sink(&self) -> Key {
+                self.len - 1
+            }
+            fn predecessors(&self, k: Key) -> Vec<Key> {
+                if k == 0 {
+                    vec![]
+                } else {
+                    vec![k - 1]
+                }
+            }
+            fn successors(&self, k: Key) -> Vec<Key> {
+                if k == self.len - 1 {
+                    vec![]
+                } else {
+                    vec![k + 1]
+                }
+            }
+            fn compute(&self, k: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+                // Monotone check: k-th task sees exactly k prior computes.
+                let prev = self.acc.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(prev, k as u64, "chain executed out of order");
+                Ok(())
+            }
+        }
+        let g = Arc::new(Chain {
+            len: 200,
+            acc: AtomicU64::new(0),
+        });
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = BaselineScheduler::new(Arc::clone(&g) as _).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.computes, 200);
+    }
+
+    #[test]
+    fn wide_fanin_graph() {
+        // Sink depends on 500 sources: stresses the notify array and the
+        // join counter contention path.
+        struct Fan {
+            width: i64,
+        }
+        impl TaskGraph for Fan {
+            fn sink(&self) -> Key {
+                self.width
+            }
+            fn predecessors(&self, k: Key) -> Vec<Key> {
+                if k == self.width {
+                    (0..self.width).collect()
+                } else {
+                    vec![]
+                }
+            }
+            fn successors(&self, k: Key) -> Vec<Key> {
+                if k == self.width {
+                    vec![]
+                } else {
+                    vec![self.width]
+                }
+            }
+            fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+                Ok(())
+            }
+        }
+        let g = Arc::new(Fan { width: 500 });
+        let pool = Pool::new(PoolConfig::with_threads(8));
+        let report = BaselineScheduler::new(Arc::clone(&g) as _).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.computes, 501);
+    }
+
+    #[test]
+    fn repeated_runs_fresh_scheduler() {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        for _ in 0..3 {
+            let g = Arc::new(Grid::new(10));
+            let report = BaselineScheduler::new(Arc::clone(&g) as _).run(&pool);
+            assert!(report.sink_completed);
+            assert_eq!(report.computes, 100);
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! The fault-tolerant scheduler — Figure 2 with the shaded additions.
+//!
+//! Differences from [`super::baseline`], exactly as the paper introduces
+//! them:
+//!
+//! * every descriptor/data access inside a traversal phase is guarded
+//!   (Cilk++ try/catch becomes `Result` + `match`);
+//! * task keys and **life numbers** are threaded through the call stack
+//!   rather than read from (possibly corrupt) descriptors;
+//! * `NotifyOnce` consults the per-predecessor **bit vector** before
+//!   decrementing the join counter (Guarantee 3);
+//! * catch blocks invoke the recovery routines of Figure 3 (implemented in
+//!   [`super::recovery`]).
+//!
+//! Fault injection happens at the three lifecycle points of Section VI
+//! (before compute / after compute / after notify) by consulting the run's
+//! [`FaultPlan`].
+
+use crate::fault::{Fault, FaultKind};
+use crate::graph::{ComputeCtx, Key, TaskGraph};
+use crate::inject::{FaultPlan, Phase};
+use crate::metrics::{RunMetrics, RunReport};
+use crate::task::{FtDesc, Status};
+use crate::trace::{Event, Trace};
+use ft_cmap::ShardedMap;
+use ft_steal::pool::{Pool, Scope};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The fault-tolerant NABBIT scheduler.
+pub struct FtScheduler {
+    pub(super) graph: Arc<dyn TaskGraph>,
+    /// The task map: key → current incarnation.
+    pub(super) map: ShardedMap<Arc<FtDesc>>,
+    /// The recovery table `R`: key → most recent life whose recovery has
+    /// been initiated.
+    pub(super) rtable: ShardedMap<u64>,
+    pub(super) plan: Arc<FaultPlan>,
+    pub(super) metrics: RunMetrics,
+    pub(super) trace: Option<Arc<Trace>>,
+}
+
+impl FtScheduler {
+    /// Scheduler with no planned faults.
+    pub fn new(graph: Arc<dyn TaskGraph>) -> Arc<Self> {
+        Self::with_plan(graph, Arc::new(FaultPlan::none()))
+    }
+
+    /// Scheduler with a fault-injection plan. One scheduler = one run.
+    pub fn with_plan(graph: Arc<dyn TaskGraph>, plan: Arc<FaultPlan>) -> Arc<Self> {
+        Arc::new(FtScheduler {
+            graph,
+            map: ShardedMap::new(),
+            rtable: ShardedMap::with_shards(64),
+            plan,
+            metrics: RunMetrics::new(),
+            trace: None,
+        })
+    }
+
+    /// Scheduler with a fault plan and an execution trace recorder.
+    pub fn with_plan_traced(
+        graph: Arc<dyn TaskGraph>,
+        plan: Arc<FaultPlan>,
+        trace: Arc<Trace>,
+    ) -> Arc<Self> {
+        Arc::new(FtScheduler {
+            graph,
+            map: ShardedMap::new(),
+            rtable: ShardedMap::with_shards(64),
+            plan,
+            metrics: RunMetrics::new(),
+            trace: Some(trace),
+        })
+    }
+
+    /// Record a trace event if tracing is enabled.
+    #[inline]
+    pub(super) fn emit(&self, event: Event) {
+        if let Some(t) = &self.trace {
+            t.record(event);
+        }
+    }
+
+    /// Execute the task graph to completion on `pool` despite any faults
+    /// the plan injects; returns run statistics.
+    pub fn run(self: &Arc<Self>, pool: &Pool) -> RunReport {
+        let start = Instant::now();
+        let sink = self.graph.sink();
+        self.insert_if_absent(sink);
+        let (sd, life) = self.get_task(sink).expect("sink just inserted");
+        pool.run_until_complete(|scope| {
+            let this = Arc::clone(self);
+            let sd = Arc::clone(&sd);
+            scope.spawn(move |s| this.init_and_compute(s, sd, sink, life));
+        });
+        let mut report = self.metrics.snapshot();
+        report.sink_completed = self
+            .map
+            .get(sink)
+            .map(|d| d.status() == Status::Completed)
+            .unwrap_or(false);
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    /// Number of distinct task keys ever inserted (diagnostics).
+    pub fn tasks_created(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of entries in the recovery table (≥1 failure observed).
+    pub fn recovery_table_len(&self) -> usize {
+        self.rtable.len()
+    }
+
+    /// Per-task execution counts N(A) after a run (Section V's `N`
+    /// function) — used by the Theorem 2 bound evaluation.
+    pub fn exec_counts(&self) -> Vec<(Key, u64)> {
+        self.metrics.exec_counts.entries()
+    }
+
+    /// Borrow the task graph this scheduler runs.
+    pub fn graph_ref(&self) -> &dyn TaskGraph {
+        self.graph.as_ref()
+    }
+
+    /// `InsertTaskIfAbsent`.
+    pub(super) fn insert_if_absent(&self, key: Key) -> bool {
+        let inserted = self.map.insert_if_absent(key, || {
+            Arc::new(FtDesc::new(key, 1, self.graph.predecessors(key)))
+        });
+        if inserted {
+            self.emit(Event::Inserted { key });
+        }
+        inserted
+    }
+
+    /// `GetTask`: current incarnation and its life number.
+    pub(super) fn get_task(&self, key: Key) -> Option<(Arc<FtDesc>, u64)> {
+        self.map.get(key).map(|d| {
+            let life = d.life;
+            (d, life)
+        })
+    }
+
+    /// Poison a task: descriptor flag plus every output block version ("a
+    /// fault affects both a task and the data blocks it has computed").
+    pub(super) fn poison_task(&self, desc: &FtDesc, phase: Phase) {
+        desc.poisoned.store(true, Ordering::Release);
+        self.graph.poison_outputs(desc.key);
+        self.metrics.injected.fetch_add(1, Ordering::Relaxed);
+        self.emit(Event::Injected {
+            key: desc.key,
+            phase,
+        });
+    }
+
+    /// `InitAndCompute(A, key, life)`.
+    pub(super) fn init_and_compute(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<FtDesc>,
+        key: Key,
+        life: u64,
+    ) {
+        for pkey in a.preds.clone() {
+            let this = Arc::clone(self);
+            let a2 = Arc::clone(&a);
+            s.spawn(move |s| this.try_init_compute(s, a2, key, life, pkey));
+        }
+        // Section VI "before compute" injection point: the task "has
+        // traversed its predecessors and is waiting for one or more
+        // notifications to be scheduled for execution".
+        if self.plan.fire(key, Phase::BeforeCompute) {
+            self.poison_task(&a, Phase::BeforeCompute);
+        }
+        self.notify_once(s, a, key, key, life);
+    }
+
+    /// `TryInitCompute(A, key, life, pkey)`.
+    pub(super) fn try_init_compute(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<FtDesc>,
+        key: Key,
+        life: u64,
+        pkey: Key,
+    ) {
+        let inserted = self.insert_if_absent(pkey);
+        let Some((b, blife)) = self.get_task(pkey) else {
+            return;
+        };
+        if inserted {
+            let this = Arc::clone(self);
+            let b2 = Arc::clone(&b);
+            s.spawn(move |s| this.init_and_compute(s, b2, pkey, blife));
+        }
+
+        // try { check B; register or observe completion }
+        let attempt: Result<bool, Fault> = (|| {
+            b.check()?;
+            if b.overwritten.load(Ordering::Acquire) {
+                // "if (B.overwritten) throw"
+                return Err(Fault {
+                    source: pkey,
+                    kind: FaultKind::Overwritten,
+                    life: blife,
+                });
+            }
+            let finished = {
+                // Status read under B's notify lock (pairs with the locked
+                // re-check in compute_and_notify).
+                let mut g = b.notify.lock();
+                if b.status() < Status::Computed {
+                    g.push(key);
+                    false
+                } else {
+                    true
+                }
+            };
+            Ok(finished)
+        })();
+
+        match attempt {
+            Ok(true) => self.notify_once(s, a, key, pkey, life),
+            Ok(false) => {}
+            Err(_) => {
+                // catch { RecoverTaskOnce(pkey, blife) }. A is *not*
+                // registered with B; B's recovery re-enqueues A via
+                // ReinitNotifyEntry (A's bit for B is still set).
+                self.recover_task_once(s, pkey, blife);
+            }
+        }
+    }
+
+    /// `NotifyOnce(A, key, pkey, life)`: unset the bit for `pkey`; decrement
+    /// the join counter only if the bit was set; execute A at zero.
+    pub(super) fn notify_once(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<FtDesc>,
+        key: Key,
+        pkey: Key,
+        life: u64,
+    ) {
+        let attempt: Result<bool, Fault> = (|| {
+            a.check()?;
+            let ind = a
+                .pred_index(pkey)
+                .ok_or_else(|| Fault::descriptor(key, life))?;
+            if a.bits.unset(ind) {
+                self.metrics.notifications.fetch_add(1, Ordering::Relaxed);
+                let val = a.join.fetch_sub(1, Ordering::AcqRel) - 1;
+                debug_assert!(val >= 0, "join underflow on task {key} life {life}");
+                Ok(val == 0)
+            } else {
+                // Duplicate notification absorbed (Guarantee 3).
+                self.metrics
+                    .duplicate_notifications
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+        })();
+
+        match attempt {
+            Ok(true) => self.compute_and_notify(s, a, key, life),
+            Ok(false) => {}
+            Err(_) => self.recover_task_once(s, key, life),
+        }
+    }
+
+    /// `NotifySuccessor(key, skey)`.
+    pub(super) fn notify_successor(self: &Arc<Self>, s: &Scope<'_>, key: Key, skey: Key) {
+        let Some((sd, slife)) = self.get_task(skey) else {
+            return;
+        };
+        self.notify_once(s, sd, skey, key, slife);
+    }
+
+    /// `ComputeAndNotify(A, key, life)`.
+    pub(super) fn compute_and_notify(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<FtDesc>,
+        key: Key,
+        life: u64,
+    ) {
+        let attempt: Result<(), Fault> = (|| {
+            a.check()?;
+            let ctx = ComputeCtx::new(
+                life,
+                a.is_recovery.load(Ordering::Relaxed),
+                s.worker_index(),
+            );
+            if let Err(f) = self.graph.compute(key, &ctx) {
+                self.metrics.compute_faults.fetch_add(1, Ordering::Relaxed);
+                if f.kind == FaultKind::Overwritten {
+                    self.metrics
+                        .overwrite_faults
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(f);
+            }
+            // The compute ran to completion: count the work (even if the
+            // injection right below discards it — that is exactly the
+            // "work lost" the experiments measure).
+            self.metrics.record_compute(key);
+            self.emit(Event::Computed { key, life });
+            // Section VI "after compute" injection point: computed, about
+            // to notify successors. The guard right below observes it.
+            if self.plan.fire(key, Phase::AfterCompute) {
+                self.poison_task(&a, Phase::AfterCompute);
+            }
+            a.check()?;
+            a.set_status(Status::Computed);
+
+            let mut notified = 0usize;
+            loop {
+                a.check()?;
+                let batch: Vec<Key> = {
+                    let g = a.notify.lock();
+                    g[notified..].to_vec()
+                };
+                for &skey in &batch {
+                    let this = Arc::clone(self);
+                    s.spawn(move |s| this.notify_successor(s, key, skey));
+                }
+                notified += batch.len();
+                let g = a.notify.lock();
+                if g.len() == notified {
+                    a.set_status(Status::Completed);
+                    drop(g);
+                    self.emit(Event::Completed { key, life });
+                    break;
+                }
+            }
+            // Section VI "after notify" injection point: only observed if a
+            // later consumer still touches this task or its data.
+            if self.plan.fire(key, Phase::AfterNotify) {
+                self.poison_task(&a, Phase::AfterNotify);
+            }
+            Ok(())
+        })();
+
+        match attempt {
+            Ok(()) => {}
+            Err(f) if f.source == key => {
+                // "if (error in A) RecoverTaskOnce(key, life)"
+                self.emit(Event::FaultObserved {
+                    source: f.source,
+                    kind: f.kind,
+                });
+                self.recover_task_once(s, key, life);
+            }
+            Err(f) => {
+                self.emit(Event::FaultObserved {
+                    source: f.source,
+                    kind: f.kind,
+                });
+                // Error in an input. Mark the source so other traversals
+                // observe the detected error ("once an error is detected,
+                // all subsequent accesses to that object will observe the
+                // error"), initiate its recovery, then process A anew.
+                let src_life = match self.get_task(f.source) {
+                    Some((src, sl)) => {
+                        match f.kind {
+                            FaultKind::Overwritten => {
+                                src.overwritten.store(true, Ordering::Release)
+                            }
+                            _ => src.poisoned.store(true, Ordering::Release),
+                        }
+                        sl
+                    }
+                    None => f.life.max(1),
+                };
+                self.recover_task_once(s, f.source, src_life);
+                self.reset_node(s, a, key, life);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_steal::pool::PoolConfig;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+
+    /// Same wavefront grid as the baseline tests.
+    struct Grid {
+        n: i64,
+        computed: Mutex<Vec<Key>>,
+    }
+
+    impl Grid {
+        fn new(n: i64) -> Self {
+            Grid {
+                n,
+                computed: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl TaskGraph for Grid {
+        fn sink(&self) -> Key {
+            self.n * self.n - 1
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            let (i, j) = (k / self.n, k % self.n);
+            let mut p = Vec::new();
+            if i > 0 {
+                p.push((i - 1) * self.n + j);
+            }
+            if j > 0 {
+                p.push(i * self.n + (j - 1));
+            }
+            p
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            let (i, j) = (k / self.n, k % self.n);
+            let mut su = Vec::new();
+            if i + 1 < self.n {
+                su.push((i + 1) * self.n + j);
+            }
+            if j + 1 < self.n {
+                su.push(i * self.n + (j + 1));
+            }
+            su
+        }
+        fn compute(&self, k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+            self.computed.lock().push(k);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fault_free_run_matches_baseline_behaviour() {
+        let g = Arc::new(Grid::new(16));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = FtScheduler::new(Arc::clone(&g) as _).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.computes, 256);
+        assert_eq!(report.re_executions, 0);
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.injected, 0);
+        let order = g.computed.lock();
+        let unique: HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), 256);
+    }
+
+    #[test]
+    fn fault_free_respects_dependence_order() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = FtScheduler::new(Arc::clone(&g) as _).run(&pool);
+        assert!(report.sink_completed);
+        let order = g.computed.lock();
+        let pos: std::collections::HashMap<Key, usize> =
+            order.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        for &k in order.iter() {
+            for p in g.predecessors(k) {
+                assert!(pos[&p] < pos[&k], "pred {p} must precede {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn before_compute_fault_recovers_without_reexecution() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::single(27, Phase::BeforeCompute));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 1);
+        assert_eq!(report.recoveries, 1);
+        // Before-compute: no computed work lost, so every task computes
+        // exactly once ("does not result in task re-execution overhead").
+        assert_eq!(report.re_executions, 0);
+        assert_eq!(report.computes, 64);
+    }
+
+    #[test]
+    fn after_compute_fault_reexecutes_exactly_one_task() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::single(27, Phase::AfterCompute));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 1);
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.re_executions, 1, "the failed task recomputes");
+        assert_eq!(report.computes, 65);
+        assert_eq!(report.distinct_tasks_executed, 64);
+    }
+
+    #[test]
+    fn sink_fault_is_recovered() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let sink = g.sink();
+        let plan = Arc::new(FaultPlan::single(sink, Phase::AfterCompute));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed, "sink recovered and completed");
+        assert_eq!(report.re_executions, 1);
+    }
+
+    #[test]
+    fn source_fault_is_recovered() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::single(0, Phase::AfterCompute));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.recoveries, 1);
+    }
+
+    #[test]
+    fn many_faults_all_recovered() {
+        let g = Arc::new(Grid::new(16));
+        let pool = Pool::new(PoolConfig::with_threads(8));
+        let keys: Vec<Key> = (0..256).collect();
+        let plan = Arc::new(FaultPlan::sample(&keys, 64, Phase::AfterCompute, 7));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 64);
+        assert_eq!(report.distinct_tasks_executed, 256);
+        // Every injected fault implies at least the failed task recomputing
+        // (observed counts can exceed 64 if a recovery raced a traversal).
+        assert!(
+            report.re_executions >= 64,
+            "re-exec {}",
+            report.re_executions
+        );
+    }
+
+    #[test]
+    fn repeated_faults_on_same_task_recursively_recovered() {
+        // Guarantee 6: failures during recovery are recovered. Fire 5 times
+        // on the same task across incarnations.
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::new([crate::inject::FaultSite {
+            key: 27,
+            phase: Phase::AfterCompute,
+            fires: 5,
+        }]));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 5);
+        assert!(report.recoveries >= 5);
+        assert_eq!(report.re_executions, 5);
+    }
+
+    #[test]
+    fn all_tasks_fail_once_still_completes() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan = Arc::new(FaultPlan::new(
+            (0..64).map(|k| crate::inject::FaultSite::once(k, Phase::AfterCompute)),
+        ));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 64);
+        assert_eq!(report.distinct_tasks_executed, 64);
+        assert!(report.re_executions >= 64);
+    }
+
+    #[test]
+    fn single_thread_recovery_works() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(1));
+        let keys: Vec<Key> = (0..64).collect();
+        let plan = Arc::new(FaultPlan::sample(&keys, 16, Phase::AfterCompute, 3));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 16);
+    }
+
+    #[test]
+    fn after_notify_faults_may_go_unobserved() {
+        // "a failed task whose successors already have been computed is not
+        // recovered, because no other task attempts to access such a task".
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let plan = Arc::new(FaultPlan::single(0, Phase::AfterNotify));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 1);
+        // The grid graph has no data blocks, so nothing revisits task 0
+        // unless a traversal races; recovery count is 0 or small.
+        assert!(report.re_executions <= 1);
+    }
+
+    #[test]
+    fn before_compute_faults_everywhere() {
+        let g = Arc::new(Grid::new(8));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let plan =
+            Arc::new(FaultPlan::new((0..64).map(|k| {
+                crate::inject::FaultSite::once(k, Phase::BeforeCompute)
+            })));
+        let sched = FtScheduler::with_plan(Arc::clone(&g) as _, plan);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 64);
+        assert_eq!(report.distinct_tasks_executed, 64);
+        assert_eq!(report.re_executions, 0, "no computed work was lost");
+    }
+}

@@ -1,0 +1,18 @@
+//! The two task-graph schedulers of Figure 2.
+//!
+//! * [`baseline`] — plain NABBIT (the non-shaded pseudocode): the paper's
+//!   `baseline` configuration with "no additional data structures or
+//!   statements introduced for fault tolerance".
+//! * [`ft`] — the fault-tolerant scheduler (shaded additions of Figure 2);
+//!   its recovery routines (Figure 3) live in [`recovery`].
+//!
+//! Both drive the same [`ft_steal::Pool`] and accept the same
+//! [`crate::graph::TaskGraph`], so the Figure 4 overhead comparison is
+//! apples-to-apples.
+
+pub mod baseline;
+pub mod ft;
+pub mod recovery;
+
+pub use baseline::BaselineScheduler;
+pub use ft::FtScheduler;

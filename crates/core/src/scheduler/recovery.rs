@@ -1,0 +1,269 @@
+//! The recovery routines of Figure 3.
+//!
+//! * `RecoverTaskOnce` / `IsRecovering` — Guarantee 1: each failure is
+//!   recovered at most once, arbitrated through the recovery table `R`
+//!   (key → most recent life whose recovery has been initiated).
+//! * `RecoverTask` — Guarantee 2: rather than restoring status from a
+//!   backup, the failed task is **replaced** by a fresh incarnation
+//!   (life + 1) and processed as a newly created task; Guarantee 4: the
+//!   notify array is reconstructed by traversing successors
+//!   (`ReinitNotifyEntry`); Guarantee 6: failures during recovery restart
+//!   the recovery loop with yet another incarnation.
+//! * `ResetNode` — Guarantee 5 support: a task whose *input* failed resets
+//!   its join counter and bit vector and re-traverses its predecessors.
+
+use super::ft::FtScheduler;
+use crate::fault::Fault;
+use crate::graph::Key;
+use crate::task::{FtDesc, Status};
+use crate::trace::Event;
+use ft_steal::pool::Scope;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+impl FtScheduler {
+    /// `RecoverTaskOnce(key, life)`.
+    pub(super) fn recover_task_once(self: &Arc<Self>, s: &Scope<'_>, key: Key, life: u64) {
+        if !self.is_recovering(key, life) {
+            self.recover_task(s, key);
+        } else {
+            self.metrics
+                .recoveries_suppressed
+                .fetch_add(1, Ordering::Relaxed);
+            self.emit(Event::RecoverySuppressed { key, life });
+        }
+    }
+
+    /// `IsRecovering(key, life)`: returns `false` exactly once per
+    /// incarnation — for the thread that claims the recovery.
+    ///
+    /// Paper: insert `(key, life)` into `R` if absent (first failure ever on
+    /// this task → caller recovers); otherwise CAS the stored life from
+    /// `life − 1` to `life` (first observer of *this* incarnation's failure
+    /// → caller recovers). Both arms are one atomic read-modify-write here.
+    pub(super) fn is_recovering(&self, key: Key, life: u64) -> bool {
+        self.rtable.update_cas(key, |cur| match cur {
+            None => (Some(life), false),
+            Some(&stored) if stored + 1 == life => (Some(life), false),
+            Some(_) => (None, true),
+        })
+    }
+
+    /// `ReplaceTask(key)`: atomically swap in a fresh incarnation with
+    /// life + 1; returns it with its life number.
+    pub(super) fn replace_task(&self, key: Key) -> (Arc<FtDesc>, u64) {
+        self.map.update_cas(key, |cur| {
+            let life = cur.map(|d: &Arc<FtDesc>| d.life).unwrap_or(0) + 1;
+            let d = Arc::new(FtDesc::new(key, life, self.graph.predecessors(key)));
+            (Some(Arc::clone(&d)), (d, life))
+        })
+    }
+
+    /// `RecoverTask(key)`: replace the incarnation, rebuild the notify
+    /// array from successors, and re-execute as if newly created. Errors
+    /// during recovery restart the loop with the next incarnation
+    /// (Guarantee 6), unless another thread already claimed that new
+    /// failure.
+    pub(super) fn recover_task(self: &Arc<Self>, s: &Scope<'_>, key: Key) {
+        loop {
+            self.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
+            let (t, life) = self.replace_task(key);
+            t.is_recovery.store(true, Ordering::Release);
+            self.emit(Event::RecoveryStarted {
+                key,
+                new_life: life,
+            });
+
+            let attempt: Result<(), Fault> = (|| {
+                // "traverse successors to recreate notify arr."
+                for skey in self.graph.successors(key) {
+                    if let Some((sd, slife)) = self.get_task(skey) {
+                        self.reinit_notify_entry(s, &t, key, &sd, skey, slife)?;
+                    }
+                    // A successor not yet in the map registers itself when
+                    // its own traversal reaches the new incarnation.
+                }
+                Ok(())
+            })();
+
+            match attempt {
+                Ok(()) => {
+                    let this = Arc::clone(self);
+                    let t2 = Arc::clone(&t);
+                    s.spawn(move |s| this.init_and_compute(s, t2, key, life));
+                    return;
+                }
+                Err(_) => {
+                    // "if (!IsRecovering(key, life)) success = false":
+                    // we claim the new incarnation's failure and retry;
+                    // otherwise someone else owns it and we are done.
+                    if self.is_recovering(key, life) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ReinitNotifyEntry(T, key, S, skey, slife)`: if successor `S` is
+    /// still Visited and has not consumed `T`'s notification (its bit for
+    /// `key` is set), enqueue it in the new incarnation's notify array.
+    ///
+    /// An error *in S* triggers S's own recovery and does not abort the
+    /// traversal; an error *in T* propagates ("else throw") so
+    /// `RecoverTask` restarts with a fresh incarnation.
+    pub(super) fn reinit_notify_entry(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        t: &Arc<FtDesc>,
+        key: Key,
+        sd: &Arc<FtDesc>,
+        skey: Key,
+        slife: u64,
+    ) -> Result<(), Fault> {
+        let attempt: Result<(), Fault> = (|| {
+            sd.check()?;
+            // "ignore Computed and Completed tasks"
+            if sd.status() != Status::Visited {
+                return Ok(());
+            }
+            let ind = sd
+                .pred_index(key)
+                .ok_or_else(|| Fault::descriptor(skey, slife))?;
+            if sd.bits.get(ind) {
+                t.check()?;
+                t.notify.lock().push(skey);
+            }
+            Ok(())
+        })();
+
+        match attempt {
+            Err(f) if f.source == skey => {
+                self.recover_task_once(s, skey, slife);
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// `ResetNode(A, key, life)`: restore the join counter and bit vector,
+    /// then re-explore predecessors via `InitAndCompute`. The join counter
+    /// is restored *before* the bits so a racing notification cannot be
+    /// lost (a decrement can only happen after its bit is re-set).
+    pub(super) fn reset_node(self: &Arc<Self>, s: &Scope<'_>, a: Arc<FtDesc>, key: Key, life: u64) {
+        self.metrics.resets.fetch_add(1, Ordering::Relaxed);
+        self.emit(Event::Reset { key, life });
+        let attempt: Result<(), Fault> = (|| {
+            a.check()?;
+            a.reset_for_reexploration();
+            Ok(())
+        })();
+        match attempt {
+            Ok(()) => self.init_and_compute(s, a, key, life),
+            Err(_) => self.recover_task_once(s, key, life),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ComputeCtx, TaskGraph};
+    use crate::inject::FaultPlan;
+
+    struct Tiny;
+    impl TaskGraph for Tiny {
+        fn sink(&self) -> Key {
+            1
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            if k == 1 {
+                vec![0]
+            } else {
+                vec![]
+            }
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            if k == 0 {
+                vec![1]
+            } else {
+                vec![]
+            }
+        }
+        fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+            Ok(())
+        }
+    }
+
+    fn scheduler() -> Arc<FtScheduler> {
+        FtScheduler::with_plan(Arc::new(Tiny), Arc::new(FaultPlan::none()))
+    }
+
+    #[test]
+    fn is_recovering_claims_each_incarnation_once() {
+        let sch = scheduler();
+        // First failure on life 1: first caller claims.
+        assert!(!sch.is_recovering(5, 1));
+        assert!(sch.is_recovering(5, 1), "second observer suppressed");
+        // Failure on the recovered incarnation (life 2).
+        assert!(!sch.is_recovering(5, 2));
+        assert!(sch.is_recovering(5, 2));
+        // Stale observer of life 1 after the world moved on.
+        assert!(sch.is_recovering(5, 1));
+    }
+
+    #[test]
+    fn is_recovering_rejects_skipped_life() {
+        let sch = scheduler();
+        assert!(!sch.is_recovering(9, 1));
+        // Life 3 arrives while R holds 1 (life 2 never failed): stored+1 != 3,
+        // so the caller must not recover — some other path owns the chain.
+        assert!(sch.is_recovering(9, 3));
+    }
+
+    #[test]
+    fn replace_task_bumps_life() {
+        let sch = scheduler();
+        sch.insert_if_absent(0);
+        let (d1, l1) = sch.get_task(0).unwrap();
+        assert_eq!(l1, 1);
+        d1.poisoned.store(true, Ordering::Release);
+        let (d2, l2) = sch.replace_task(0);
+        assert_eq!(l2, 2);
+        assert!(d2.check().is_ok(), "fresh incarnation is clean");
+        assert_eq!(d2.status(), Status::Visited);
+        let (cur, l) = sch.get_task(0).unwrap();
+        assert_eq!(l, 2);
+        assert!(Arc::ptr_eq(&cur, &d2));
+    }
+
+    #[test]
+    fn replace_task_on_missing_key_creates_life_one() {
+        let sch = scheduler();
+        let (_, life) = sch.replace_task(42);
+        assert_eq!(life, 1);
+    }
+
+    #[test]
+    fn concurrent_is_recovering_single_claimant() {
+        use std::sync::atomic::AtomicUsize;
+        let sch = scheduler();
+        for life in 1..=10u64 {
+            let claims = AtomicUsize::new(0);
+            std::thread::scope(|ts| {
+                for _ in 0..8 {
+                    ts.spawn(|| {
+                        if !sch.is_recovering(3, life) {
+                            claims.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(
+                claims.load(Ordering::Relaxed),
+                1,
+                "exactly one claimant for life {life}"
+            );
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Sequential reference executor.
+//!
+//! Executes a task graph on the calling thread in a topological order
+//! derived from the predecessor function. Used to (a) measure `T1` — "the
+//! time it takes to execute the task graph on a single processor" — for the
+//! Figure 4 speedup curves, and (b) produce reference results against which
+//! the parallel schedulers' outputs are verified (Theorem 1: "the task
+//! graph execution produces the same result with and without faults").
+
+use crate::fault::Fault;
+use crate::graph::{ComputeCtx, Key, TaskGraph};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Result of a sequential execution.
+#[derive(Debug, Clone)]
+pub struct SeqReport {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Wall-clock time of the execution (compute only, after discovery).
+    pub elapsed: Duration,
+}
+
+/// Discover every task reachable from the sink via predecessors.
+///
+/// Returns the tasks in reverse-discovery order (unspecified); use
+/// [`topo_order`] for a dependence-respecting order.
+pub fn discover(graph: &dyn TaskGraph) -> Vec<Key> {
+    let mut seen: HashMap<Key, ()> = HashMap::new();
+    let mut stack = vec![graph.sink()];
+    seen.insert(graph.sink(), ());
+    let mut out = Vec::new();
+    while let Some(k) = stack.pop() {
+        out.push(k);
+        for p in graph.predecessors(k) {
+            if seen.insert(p, ()).is_none() {
+                stack.push(p);
+            }
+        }
+    }
+    out
+}
+
+/// Kahn topological order over the tasks reachable from the sink.
+///
+/// Panics if the graph has a dependence cycle (the contract requires a DAG).
+pub fn topo_order(graph: &dyn TaskGraph) -> Vec<Key> {
+    let tasks = discover(graph);
+    let mut indegree: HashMap<Key, usize> = HashMap::with_capacity(tasks.len());
+    for &k in &tasks {
+        indegree.insert(k, graph.predecessors(k).len());
+    }
+    // successors() may mention tasks outside the reachable set; restrict to
+    // discovered tasks via the indegree map.
+    let mut ready: VecDeque<Key> = tasks.iter().copied().filter(|k| indegree[k] == 0).collect();
+    let mut order = Vec::with_capacity(tasks.len());
+    while let Some(k) = ready.pop_front() {
+        order.push(k);
+        for s in graph.successors(k) {
+            if let Some(d) = indegree.get_mut(&s) {
+                *d -= 1;
+                if *d == 0 {
+                    ready.push_back(s);
+                }
+            }
+        }
+    }
+    assert_eq!(
+        order.len(),
+        tasks.len(),
+        "task graph contains a cycle (or successors() is inconsistent with predecessors())"
+    );
+    order
+}
+
+/// Execute the graph sequentially. Any compute fault is returned
+/// immediately (the sequential executor, like the baseline scheduler, has
+/// no recovery path).
+pub fn run(graph: &dyn TaskGraph) -> Result<SeqReport, Fault> {
+    let order = topo_order(graph);
+    let start = Instant::now();
+    let ctx = ComputeCtx::new(1, false, None);
+    for &k in &order {
+        graph.compute(k, &ctx)?;
+    }
+    Ok(SeqReport {
+        tasks: order.len(),
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct Diamond {
+        order: Mutex<Vec<Key>>,
+    }
+    impl TaskGraph for Diamond {
+        fn sink(&self) -> Key {
+            3
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            match k {
+                0 => vec![],
+                1 | 2 => vec![0],
+                3 => vec![1, 2],
+                _ => unreachable!(),
+            }
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            match k {
+                0 => vec![1, 2],
+                1 | 2 => vec![3],
+                3 => vec![],
+                _ => unreachable!(),
+            }
+        }
+        fn compute(&self, k: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+            self.order.lock().push(k);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn discovers_all_tasks() {
+        let g = Diamond {
+            order: Mutex::new(vec![]),
+        };
+        let mut d = discover(&g);
+        d.sort();
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn topo_order_respects_dependences() {
+        let g = Diamond {
+            order: Mutex::new(vec![]),
+        };
+        let order = topo_order(&g);
+        let pos: HashMap<Key, usize> = order.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        assert!(pos[&0] < pos[&1]);
+        assert!(pos[&0] < pos[&2]);
+        assert!(pos[&1] < pos[&3]);
+        assert!(pos[&2] < pos[&3]);
+    }
+
+    #[test]
+    fn run_executes_everything_in_order() {
+        let g = Diamond {
+            order: Mutex::new(vec![]),
+        };
+        let report = run(&g).unwrap();
+        assert_eq!(report.tasks, 4);
+        let order = g.order.lock();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[3], 3);
+    }
+
+    #[test]
+    fn run_propagates_compute_fault() {
+        struct Bad;
+        impl TaskGraph for Bad {
+            fn sink(&self) -> Key {
+                0
+            }
+            fn predecessors(&self, _: Key) -> Vec<Key> {
+                vec![]
+            }
+            fn successors(&self, _: Key) -> Vec<Key> {
+                vec![]
+            }
+            fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+                Err(Fault::data(0))
+            }
+        }
+        assert!(run(&Bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        struct Cyclic;
+        impl TaskGraph for Cyclic {
+            fn sink(&self) -> Key {
+                0
+            }
+            fn predecessors(&self, k: Key) -> Vec<Key> {
+                vec![(k + 1) % 2]
+            }
+            fn successors(&self, k: Key) -> Vec<Key> {
+                vec![(k + 1) % 2]
+            }
+            fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+                Ok(())
+            }
+        }
+        topo_order(&Cyclic);
+    }
+}

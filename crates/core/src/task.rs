@@ -1,0 +1,238 @@
+//! Task descriptors — the per-task runtime state of Section III.
+//!
+//! "For each task, the runtime holds the following fields: (int) join […],
+//! (int64_t*) notifyArray […], (int) status". The fault-tolerant version
+//! adds the notification bit vector, the life number, a recovery marker and
+//! the poison/overwritten flags through which detected errors surface.
+//!
+//! Two descriptor types exist so the baseline scheduler (Figure 2,
+//! non-shaded) carries **zero** fault-tolerance state — the paper's
+//! "baseline version includes no additional data structures or statements
+//! introduced for fault tolerance".
+
+use crate::bitvec::AtomicBitVec;
+use crate::fault::Fault;
+use crate::graph::Key;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
+
+/// Execution status of a task ("Visited, Computed, and Completed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Status {
+    /// Created and inserted into the hash map; compute not yet done.
+    Visited = 0,
+    /// The `compute` function has executed.
+    Computed = 1,
+    /// All enqueued successors have been notified.
+    Completed = 2,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Status {
+        match v {
+            0 => Status::Visited,
+            1 => Status::Computed,
+            _ => Status::Completed,
+        }
+    }
+}
+
+/// Descriptor for the **baseline** (non-fault-tolerant) scheduler.
+pub struct BaseDesc {
+    /// Task key.
+    pub key: Key,
+    /// Ordered immediate predecessors (cached at creation; `Init(A)`).
+    pub preds: Vec<Key>,
+    /// Join counter, initialized to `|preds)| + 1` (the +1 is consumed by
+    /// the self-notification at the end of `InitAndCompute`).
+    pub join: AtomicI64,
+    /// Execution status.
+    pub status: AtomicU8,
+    /// Successors enqueued to be notified when this task computes.
+    pub notify: Mutex<Vec<Key>>,
+}
+
+impl BaseDesc {
+    /// Create a descriptor with the given ordered predecessor list.
+    pub fn new(key: Key, preds: Vec<Key>) -> Self {
+        let join = preds.len() as i64 + 1;
+        BaseDesc {
+            key,
+            preds,
+            join: AtomicI64::new(join),
+            status: AtomicU8::new(Status::Visited as u8),
+            notify: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> Status {
+        Status::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Store a new status.
+    pub fn set_status(&self, s: Status) {
+        self.status.store(s as u8, Ordering::Release);
+    }
+}
+
+/// Descriptor for the **fault-tolerant** scheduler.
+pub struct FtDesc {
+    /// Task key.
+    pub key: Key,
+    /// Life number of this incarnation (1 = original; recovery replaces the
+    /// map entry with a descriptor of life+1).
+    pub life: u64,
+    /// Ordered immediate predecessors.
+    pub preds: Vec<Key>,
+    /// Join counter (`|preds| + 1`, self-notification included).
+    pub join: AtomicI64,
+    /// Execution status.
+    pub status: AtomicU8,
+    /// Successors awaiting notification.
+    pub notify: Mutex<Vec<Key>>,
+    /// Per-predecessor (plus self) notification bits; Guarantee 3.
+    pub bits: AtomicBitVec,
+    /// True once a detected soft error has corrupted this descriptor.
+    /// "Once an error is detected, all subsequent accesses observe it."
+    pub poisoned: AtomicBool,
+    /// True once a data-block version produced by this task was evicted and
+    /// is again needed — the task must be re-executed as if it failed.
+    pub overwritten: AtomicBool,
+    /// True when this incarnation was created by `RecoverTask`.
+    pub is_recovery: AtomicBool,
+}
+
+impl FtDesc {
+    /// Create incarnation `life` of task `key` with the given ordered
+    /// predecessor list. Join counter and bit vector cover `preds` plus the
+    /// self slot.
+    pub fn new(key: Key, life: u64, preds: Vec<Key>) -> Self {
+        let n = preds.len();
+        FtDesc {
+            key,
+            life,
+            preds,
+            join: AtomicI64::new(n as i64 + 1),
+            status: AtomicU8::new(Status::Visited as u8),
+            notify: Mutex::new(Vec::new()),
+            bits: AtomicBitVec::new_all_set(n + 1),
+            poisoned: AtomicBool::new(false),
+            overwritten: AtomicBool::new(false),
+            is_recovery: AtomicBool::new(false),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> Status {
+        Status::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Store a new status.
+    pub fn set_status(&self, s: Status) {
+        self.status.store(s as u8, Ordering::Release);
+    }
+
+    /// Guarded access: fail if this descriptor has been corrupted. Every
+    /// routine that touches the descriptor inside one of the paper's try
+    /// blocks calls this first.
+    pub fn check(&self) -> Result<(), Fault> {
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(Fault::descriptor(self.key, self.life))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `ConvertPredKeyToIndex`: position of `pkey` in the ordered
+    /// predecessor list, or the self slot when `pkey == self.key`.
+    ///
+    /// Returns `None` when `pkey` is not a predecessor (can happen when the
+    /// predecessor list of a *new incarnation* differs — it cannot for the
+    /// deterministic graphs the contract requires, so callers treat `None`
+    /// as a descriptor error).
+    pub fn pred_index(&self, pkey: Key) -> Option<usize> {
+        if pkey == self.key {
+            return Some(self.preds.len());
+        }
+        self.preds.iter().position(|&p| p == pkey)
+    }
+
+    /// `ResetNode` state restoration: join back to `|preds| + 1`, all bits
+    /// set. (The caller then re-runs `InitAndCompute`.)
+    pub fn reset_for_reexploration(&self) {
+        self.join
+            .store(self.preds.len() as i64 + 1, Ordering::Release);
+        self.bits.set_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_desc_initial_state() {
+        let d = BaseDesc::new(5, vec![1, 2, 3]);
+        assert_eq!(d.key, 5);
+        assert_eq!(d.join.load(Ordering::Relaxed), 4);
+        assert_eq!(d.status(), Status::Visited);
+        assert!(d.notify.lock().is_empty());
+    }
+
+    #[test]
+    fn ft_desc_initial_state() {
+        let d = FtDesc::new(5, 1, vec![1, 2]);
+        assert_eq!(d.life, 1);
+        assert_eq!(d.join.load(Ordering::Relaxed), 3);
+        assert_eq!(d.bits.len(), 3);
+        assert_eq!(d.bits.count_set(), 3);
+        assert!(d.check().is_ok());
+        assert!(!d.is_recovery.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn status_ordering_matches_paper() {
+        // "if (B.status < Computed)" relies on Visited < Computed < Completed.
+        assert!(Status::Visited < Status::Computed);
+        assert!(Status::Computed < Status::Completed);
+    }
+
+    #[test]
+    fn pred_index_including_self() {
+        let d = FtDesc::new(10, 1, vec![7, 8, 9]);
+        assert_eq!(d.pred_index(7), Some(0));
+        assert_eq!(d.pred_index(9), Some(2));
+        assert_eq!(d.pred_index(10), Some(3), "self slot is last");
+        assert_eq!(d.pred_index(99), None);
+    }
+
+    #[test]
+    fn check_fails_after_poison() {
+        let d = FtDesc::new(3, 2, vec![]);
+        d.poisoned.store(true, Ordering::Release);
+        let err = d.check().unwrap_err();
+        assert_eq!(err.source, 3);
+        assert_eq!(err.life, 2);
+    }
+
+    #[test]
+    fn reset_restores_join_and_bits() {
+        let d = FtDesc::new(1, 1, vec![2, 3]);
+        assert!(d.bits.unset(0));
+        assert!(d.bits.unset(2));
+        d.join.store(0, Ordering::Relaxed);
+        d.reset_for_reexploration();
+        assert_eq!(d.join.load(Ordering::Relaxed), 3);
+        assert_eq!(d.bits.count_set(), 3);
+    }
+
+    #[test]
+    fn source_task_has_join_one() {
+        // A source (no preds) still needs the self-notification to fire.
+        let d = FtDesc::new(0, 1, vec![]);
+        assert_eq!(d.join.load(Ordering::Relaxed), 1);
+        assert_eq!(d.pred_index(0), Some(0));
+    }
+}

@@ -1,0 +1,256 @@
+//! The full Section V expressions — Lemma 4 (work) and Lemma 6 (span) with
+//! their contention terms.
+//!
+//! [`crate::analysis`] provides the simplified `T1`/`T∞` used for speedup
+//! accounting; this module evaluates the lemmas' *complete* forms, which
+//! add the synchronization-contention terms the proofs charge for:
+//!
+//! * `L_J(A) = Σ_{B ∈ out(A)} min{|in(B)|, P}` — waiting to decrement
+//!   successors' join counters;
+//! * `L_N(A) = Σ_{C ∈ in(A)} min{|in(C)|, P}` — contention on
+//!   predecessors' notify arrays;
+//! * `L_S(X,Y) = min{|in(Y)|, P}` — the per-edge decrement wait on the
+//!   critical path.
+//!
+//! Lemma 4:
+//! `W(D_N) = O( Σ_A [ N(A)·(W(com(A)) + Σ_{B∈out(A)} N(B) + L_N(A)) + L_J(A) ] )`
+//!
+//! Lemma 6:
+//! `S(E_N) ≤ O( max_{p ∈ paths} Σ_{X∈p} [ N(X)·(S(com(X)) +
+//!   Σ_{Y∈out(X)} N(Y) + L_N(X)) ] + Σ_{(X,Y)∈p} L_S(X,Y) )`
+//!
+//! All contention terms are counted in abstract unit operations; callers
+//! convert to time by scaling with a per-operation cost (see the `repro
+//! bound` harness).
+
+use crate::graph::{Key, TaskGraph};
+use crate::seq::topo_order;
+use std::collections::HashMap;
+
+/// Inputs to the lemma evaluations.
+pub struct LemmaParams<'a> {
+    /// Work of the compute function, `W(com(A))`, per task.
+    pub cost: &'a dyn Fn(Key) -> f64,
+    /// Execution counts `N(A)` (1 everywhere for fault-free runs).
+    pub n_of: &'a dyn Fn(Key) -> f64,
+    /// Processor count `P`.
+    pub p: usize,
+}
+
+/// `L_J(A) = Σ_{B ∈ out(A)} min{|in(B)|, P}`.
+pub fn l_join(graph: &dyn TaskGraph, key: Key, p: usize) -> f64 {
+    graph
+        .successors(key)
+        .into_iter()
+        .map(|b| (graph.predecessors(b).len().min(p)) as f64)
+        .sum()
+}
+
+/// `L_N(A) = Σ_{C ∈ in(A)} min{|in(C)|, P}`.
+pub fn l_notify(graph: &dyn TaskGraph, key: Key, p: usize) -> f64 {
+    graph
+        .predecessors(key)
+        .into_iter()
+        .map(|c| (graph.predecessors(c).len().min(p)) as f64)
+        .sum()
+}
+
+/// Lemma 4: total work of any execution with counts `N`, including
+/// contention terms (unit operations; compute work in `cost` units).
+pub fn lemma4_work(graph: &dyn TaskGraph, params: &LemmaParams<'_>) -> f64 {
+    let order = topo_order(graph);
+    let mut total = 0.0;
+    for &a in &order {
+        let n_a = (params.n_of)(a);
+        let notify_scan: f64 = graph
+            .successors(a)
+            .into_iter()
+            .map(|b| (params.n_of)(b))
+            .sum();
+        total += n_a * ((params.cost)(a) + notify_scan + l_notify(graph, a, params.p))
+            + l_join(graph, a, params.p);
+    }
+    total
+}
+
+/// Lemma 6: span upper bound of the deterministic execution DAG `E_N`
+/// (unit operations; compute span in `cost` units — our kernels are
+/// sequential so span = work per task).
+pub fn lemma6_span(graph: &dyn TaskGraph, params: &LemmaParams<'_>) -> f64 {
+    let order = topo_order(graph);
+    let index: HashMap<Key, usize> = order.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let mut best = vec![0.0f64; order.len()];
+    let mut overall: f64 = 0.0;
+    for (i, &x) in order.iter().enumerate() {
+        let n_x = (params.n_of)(x);
+        let notify_scan: f64 = graph
+            .successors(x)
+            .into_iter()
+            .map(|y| (params.n_of)(y))
+            .sum();
+        let node_term = n_x * ((params.cost)(x) + notify_scan + l_notify(graph, x, params.p));
+        // Incoming edges contribute the L_S(X, Y=x) decrement wait.
+        let ls_in = (graph.predecessors(x).len().min(params.p)) as f64;
+        let mut from_pred = 0.0f64;
+        for pkey in graph.predecessors(x) {
+            let v = best[index[&pkey]] + ls_in;
+            if v > from_pred {
+                from_pred = v;
+            }
+        }
+        best[i] = from_pred + node_term;
+        overall = overall.max(best[i]);
+    }
+    overall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::work_span;
+    use crate::fault::Fault;
+    use crate::graph::ComputeCtx;
+
+    /// Diamond: 0 → {1,2} → 3.
+    struct Diamond;
+    impl TaskGraph for Diamond {
+        fn sink(&self) -> Key {
+            3
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            match k {
+                0 => vec![],
+                1 | 2 => vec![0],
+                _ => vec![1, 2],
+            }
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            match k {
+                0 => vec![1, 2],
+                1 | 2 => vec![3],
+                _ => vec![],
+            }
+        }
+        fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn contention_terms_hand_computed() {
+        let g = Diamond;
+        // in-degrees: |in(0)|=0, |in(1)|=|in(2)|=1, |in(3)|=2.
+        // L_J(0) = min(1,P)+min(1,P) = 2 at any P >= 1.
+        assert_eq!(l_join(&g, 0, 4), 2.0);
+        // L_J(1) = min(|in(3)|,P) = 2 at P=4, 1 at P=1.
+        assert_eq!(l_join(&g, 1, 4), 2.0);
+        assert_eq!(l_join(&g, 1, 1), 1.0);
+        assert_eq!(l_join(&g, 3, 4), 0.0);
+        // L_N(3) = Σ_{C∈in(3)} min(|in(C)|,P) = 1 + 1.
+        assert_eq!(l_notify(&g, 3, 4), 2.0);
+        assert_eq!(l_notify(&g, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn lemma4_fault_free_unit_cost() {
+        let g = Diamond;
+        let cost = |_: Key| 1.0;
+        let n = |_: Key| 1.0;
+        let params = LemmaParams {
+            cost: &cost,
+            n_of: &n,
+            p: 4,
+        };
+        // Per node: N(A)(1 + Σ N(B) + L_N(A)) + L_J(A):
+        // 0: 1*(1+2+0) + 2 = 5
+        // 1: 1*(1+1+1) + 2 = 5   (L_N(1)=min(|in(0)|,P)=0? in(1)={0}, |in(0)|=0 → 0)
+        // recompute: L_N(1) = min(0,4) = 0 → 1*(1+1+0)+2 = 4
+        // 2: same as 1 = 4
+        // 3: 1*(1+0+2) + 0 = 3
+        // total = 5 + 4 + 4 + 3 = 16
+        let w = lemma4_work(&g, &params);
+        assert!((w - 16.0).abs() < 1e-9, "w = {w}");
+    }
+
+    #[test]
+    fn lemma6_fault_free_unit_cost() {
+        let g = Diamond;
+        let cost = |_: Key| 1.0;
+        let n = |_: Key| 1.0;
+        let params = LemmaParams {
+            cost: &cost,
+            n_of: &n,
+            p: 4,
+        };
+        // Path 0 → 1 → 3 (or via 2):
+        // node(0) = 1+2+0 = 3; edge L_S into 1 = min(1,4)=1; node(1) = 1+1+0 = 2;
+        // edge L_S into 3 = min(2,4)=2; node(3) = 1+0+2 = 3.
+        // span = 3 + 1 + 2 + 2 + 3 = 11.
+        let s = lemma6_span(&g, &params);
+        assert!((s - 11.0).abs() < 1e-9, "s = {s}");
+    }
+
+    #[test]
+    fn lemmas_dominate_simple_forms() {
+        // The lemma forms include everything the simple T1/T∞ include, so
+        // they must dominate them for any N and cost.
+        let g = Diamond;
+        let cost = |k: Key| 1.0 + k as f64;
+        let n = |k: Key| if k == 1 { 3.0 } else { 1.0 };
+        let (t1, tinf) = work_span(&g, cost, n);
+        let params = LemmaParams {
+            cost: &cost,
+            n_of: &n,
+            p: 8,
+        };
+        assert!(lemma4_work(&g, &params) >= t1);
+        assert!(lemma6_span(&g, &params) >= tinf);
+    }
+
+    #[test]
+    fn contention_saturates_with_p() {
+        // min{|in|, P} caps at the in-degree: beyond P = max in-degree the
+        // lemma values stop growing.
+        let g = Diamond;
+        let cost = |_: Key| 1.0;
+        let n = |_: Key| 1.0;
+        let at = |p: usize| {
+            let params = LemmaParams {
+                cost: &cost,
+                n_of: &n,
+                p,
+            };
+            (lemma4_work(&g, &params), lemma6_span(&g, &params))
+        };
+        let (w1, s1) = at(1);
+        let (w2, s2) = at(2);
+        let (w64, s64) = at(64);
+        assert!(w2 >= w1 && s2 >= s1);
+        assert_eq!(w2, w64, "saturated at max degree");
+        assert_eq!(s2, s64);
+    }
+
+    #[test]
+    fn reexecution_scales_work_superlinearly_on_hot_successors() {
+        // Lemma 4's Σ N(B) term: re-executing a node whose successors also
+        // re-execute costs more than the products of either alone.
+        let g = Diamond;
+        let cost = |_: Key| 1.0;
+        let n_all_twice = |_: Key| 2.0;
+        let n_one = |_: Key| 1.0;
+        let p4 = |n_of: &dyn Fn(Key) -> f64| {
+            lemma4_work(
+                &g,
+                &LemmaParams {
+                    cost: &cost,
+                    n_of,
+                    p: 4,
+                },
+            )
+        };
+        let w1 = p4(&n_one);
+        let w2 = p4(&n_all_twice);
+        // The notify-scan term is quadratic in N: more than 2x growth.
+        assert!(w2 > 2.0 * w1, "w2 = {w2}, w1 = {w1}");
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host crate: test targets live in the repo-root `tests/` directory.

@@ -1,0 +1,515 @@
+//! Chase–Lev work-stealing deque.
+//!
+//! One owner thread pushes and pops at the *bottom*; any number of thief
+//! threads steal from the *top*. The implementation follows the C11
+//! formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13), including its
+//! memory orderings, with a growable circular buffer.
+//!
+//! Buffer growth retires the old buffer into a list owned by the deque
+//! rather than freeing it immediately: a concurrent thief may still be
+//! reading an element slot of the old buffer. Retired buffers are freed when
+//! the deque itself is dropped, which is safe because by then no thief holds
+//! a reference (the pool joins its workers first).
+//!
+//! Elements are stored by value in `MaybeUninit` slots. The ABA-free
+//! `top` counter is monotonically increasing, so a slot is logically owned
+//! by exactly one successful `steal`/`pop`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Initial capacity (must be a power of two).
+const MIN_CAP: usize = 64;
+
+/// A circular buffer of `T` slots. Never shrinks; grows by doubling.
+struct Buffer<T> {
+    /// Power-of-two capacity.
+    cap: usize,
+    /// Mask = cap - 1 for cheap modulo.
+    mask: usize,
+    /// Slot storage. Readers/writers synchronize through `top`/`bottom`.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+unsafe impl<T: Send> Send for Buffer<T> {}
+unsafe impl<T: Send> Sync for Buffer<T> {}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Self> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer {
+            cap,
+            mask: cap - 1,
+            slots,
+        })
+    }
+
+    /// Write `v` into logical index `i`.
+    ///
+    /// # Safety
+    /// The caller must be the unique writer of slot `i & mask` for this
+    /// logical index (guaranteed by the Chase–Lev protocol: only the owner
+    /// writes, and only at `bottom`).
+    unsafe fn put(&self, i: isize, v: T) {
+        let slot = &self.slots[(i as usize) & self.mask];
+        unsafe { (*slot.get()).write(v) };
+    }
+
+    /// Read the value at logical index `i` without consuming it.
+    ///
+    /// # Safety
+    /// The slot must contain an initialized value for logical index `i`, and
+    /// the caller must ensure it takes ownership at most once (the CAS on
+    /// `top` arbitrates ownership among thieves and the owner).
+    unsafe fn take(&self, i: isize) -> T {
+        let slot = &self.slots[(i as usize) & self.mask];
+        unsafe { (*slot.get()).assume_init_read() }
+    }
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Successfully stole an element.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// True if this is `Steal::Success`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+}
+
+/// Shared state of one Chase–Lev deque.
+struct Inner<T> {
+    /// Next index to steal from. Monotonically increasing.
+    top: AtomicIsize,
+    /// Next index the owner will push to.
+    bottom: AtomicIsize,
+    /// Current buffer. Replaced (never mutated in place) on growth.
+    buf: AtomicPtr<Buffer<T>>,
+    /// Retired buffers, freed on drop. Only the owner pushes here; protected
+    /// by the owner-uniqueness of `Worker`.
+    retired: UnsafeCell<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Drop any elements still in the deque.
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        let buf = self.buf.load(Ordering::Relaxed);
+        unsafe {
+            for i in t..b {
+                drop((*buf).take(i));
+            }
+            drop(Box::from_raw(buf));
+            for &r in &*self.retired.get() {
+                drop(Box::from_raw(r));
+            }
+        }
+    }
+}
+
+/// Owner handle: push/pop at the bottom. Not `Clone`; exactly one owner.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Thief handle: steal from the top. Cheaply cloneable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Create a new deque, returning the unique owner handle and a stealer.
+pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
+    let buf = Box::into_raw(Buffer::new(MIN_CAP));
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buf: AtomicPtr::new(buf),
+        retired: UnsafeCell::new(Vec::new()),
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T: Send> Worker<T> {
+    /// Push a value at the bottom. Owner-only.
+    pub fn push(&self, v: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buf.load(Ordering::Relaxed);
+
+        let len = b.wrapping_sub(t);
+        unsafe {
+            if len >= (*buf).cap as isize {
+                self.grow(b, t);
+                buf = inner.buf.load(Ordering::Relaxed);
+            }
+            (*buf).put(b, v);
+        }
+        // Release: the value write must be visible before the new bottom.
+        fence(Ordering::Release);
+        inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Pop a value from the bottom (LIFO). Owner-only.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        let buf = inner.buf.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        // Full barrier: the bottom decrement must be globally visible before
+        // reading top (the crux of the Chase-Lev protocol).
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+
+        let len = b.wrapping_sub(t);
+        if len < 0 {
+            // Deque was empty; restore bottom.
+            inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        // Non-empty: speculatively read the element.
+        let v = unsafe { (*buf).take(b) };
+        if len > 0 {
+            // More than one element; no thief can race for index b.
+            return Some(v);
+        }
+        // Exactly one element: race with thieves via CAS on top.
+        let won = inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+        if won {
+            Some(v)
+        } else {
+            // A thief got it; we must not drop the value we read (the thief
+            // owns it) — forget our speculative copy.
+            std::mem::forget(v);
+            None
+        }
+    }
+
+    /// Number of elements currently visible to the owner (approximate for
+    /// outside observers, exact for the owner between operations).
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    /// True if no elements are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Create another stealer for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Double the buffer; called by `push` when full. Owner-only.
+    ///
+    /// The old buffer is retired, not freed: thieves may still be reading
+    /// slots of it. `top`..`bottom` elements are copied to the new buffer.
+    fn grow(&self, b: isize, t: isize) {
+        let inner = &*self.inner;
+        let old = inner.buf.load(Ordering::Relaxed);
+        unsafe {
+            let new = Box::into_raw(Buffer::new((*old).cap * 2));
+            for i in t..b {
+                // Copy the raw bytes; ownership stays with the deque.
+                let slot_old = &(*old).slots[(i as usize) & (*old).mask];
+                let slot_new = &(*new).slots[(i as usize) & (*new).mask];
+                std::ptr::copy_nonoverlapping(slot_old.get(), slot_new.get(), 1);
+            }
+            inner.buf.store(new, Ordering::Release);
+            (*inner.retired.get()).push(old);
+        }
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempt to steal one element from the top (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        // Order the read of top before the read of bottom.
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if b.wrapping_sub(t) <= 0 {
+            return Steal::Empty;
+        }
+        // Read the buffer pointer *after* observing non-empty; Acquire pairs
+        // with the owner's Release store in `grow`.
+        let buf = inner.buf.load(Ordering::Acquire);
+        // Speculatively read the element, then confirm ownership via CAS.
+        let v = unsafe { (*buf).take(t) };
+        if inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(v)
+        } else {
+            // Lost the race; the element belongs to someone else.
+            std::mem::forget(v);
+            Steal::Retry
+        }
+    }
+
+    /// Approximate number of elements.
+    pub fn len(&self) -> usize {
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        b.wrapping_sub(t).max(0) as usize
+    }
+
+    /// True if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn push_pop_lifo() {
+        let (w, _s) = deque::<u32>();
+        for i in 0..10 {
+            w.push(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn steal_fifo() {
+        let (w, s) = deque::<u32>();
+        for i in 0..10 {
+            w.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn empty_deque_behaviour() {
+        let (w, s) = deque::<u32>();
+        assert!(w.is_empty());
+        assert!(s.is_empty());
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+        w.push(7);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some(7));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let (w, s) = deque::<usize>();
+        let n = MIN_CAP * 8;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        // Steal half from the top, pop half from the bottom.
+        for i in 0..n / 2 {
+            assert_eq!(s.steal(), Steal::Success(i));
+        }
+        for i in (n / 2..n).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_steal_sequential() {
+        let (w, s) = deque::<u64>();
+        let mut seen = HashSet::new();
+        let mut next = 0u64;
+        for round in 0..1000 {
+            for _ in 0..(round % 7) {
+                w.push(next);
+                next += 1;
+            }
+            if round % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    assert!(seen.insert(v));
+                }
+            }
+            if round % 2 == 0 {
+                if let Steal::Success(v) = s.steal() {
+                    assert!(seen.insert(v));
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), next as usize);
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (w, _s) = deque::<D>();
+            for _ in 0..10 {
+                w.push(D);
+            }
+            drop(w.pop()); // one dropped here
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn concurrent_steal_no_dup_no_loss() {
+        const N: usize = 100_000;
+        const THIEVES: usize = 4;
+        let (w, s) = deque::<usize>();
+        let counts: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        let counts = std::sync::Arc::new(counts);
+
+        thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let s = s.clone();
+                let counts = std::sync::Arc::clone(&counts);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            counts[v].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty => {
+                            if counts[N - 1].load(Ordering::Relaxed) > 0
+                                || counts.iter().all(|c| c.load(Ordering::Relaxed) > 0)
+                            {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                        Steal::Retry => {}
+                    }
+                });
+            }
+            // Owner interleaves pushes and pops.
+            let mut popped = Vec::new();
+            for i in 0..N {
+                w.push(i);
+                if i % 5 == 0 {
+                    if let Some(v) = w.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+            // Drain the rest from the owner side.
+            while let Some(v) = w.pop() {
+                popped.push(v);
+            }
+            for v in popped {
+                counts[v].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "element {i} seen wrong number of times"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_growth_under_steal() {
+        const N: usize = 50_000;
+        let (w, s) = deque::<usize>();
+        let stolen = std::sync::Arc::new(AtomicUsize::new(0));
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = s.clone();
+                let stolen = std::sync::Arc::clone(&stolen);
+                let done = std::sync::Arc::clone(&done);
+                scope.spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(_) => {
+                            stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty if done.load(Ordering::Acquire) => break,
+                        _ => std::hint::spin_loop(),
+                    }
+                });
+            }
+            let mut popped = 0usize;
+            for i in 0..N {
+                w.push(i);
+                // Occasionally pop to force the single-element race path.
+                if i % 97 == 0 && w.pop().is_some() {
+                    popped += 1;
+                }
+            }
+            while w.pop().is_some() {
+                popped += 1;
+            }
+            // Let thieves drain anything left (there is nothing left, but the
+            // CAS races must settle), then signal.
+            done.store(true, Ordering::Release);
+            // popped is accounted below.
+            stolen.fetch_add(popped, Ordering::Relaxed);
+        });
+
+        assert_eq!(stolen.load(Ordering::Relaxed), N);
+    }
+}

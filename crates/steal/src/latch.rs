@@ -1,0 +1,188 @@
+//! Completion detection for fire-and-forget task DAGs.
+//!
+//! NABBIT's traversal never syncs on spawned children; the run is over when
+//! the *sink task* completes (and, for quiescence-style uses, when all
+//! outstanding jobs have drained). Two primitives cover both:
+//!
+//! * [`Flag`] — a one-shot boolean latch the sink task sets; the submitting
+//!   thread blocks on it.
+//! * [`CountLatch`] — counts outstanding jobs; trips at zero. The pool uses
+//!   it to detect quiescence of a `run_until_complete` scope.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+
+/// One-shot boolean latch.
+#[derive(Default)]
+pub struct Flag {
+    set: AtomicBool,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl Flag {
+    /// New, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the flag and wake all waiters. Idempotent.
+    pub fn set(&self) {
+        self.set.store(true, Ordering::Release);
+        let _g = self.lock.lock();
+        self.condvar.notify_all();
+    }
+
+    /// True once `set` has been called.
+    pub fn is_set(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    /// Block until the flag is set.
+    pub fn wait(&self) {
+        if self.is_set() {
+            return;
+        }
+        let mut g = self.lock.lock();
+        while !self.is_set() {
+            self.condvar.wait(&mut g);
+        }
+    }
+}
+
+/// Counts outstanding work items; trips when the count returns to zero.
+///
+/// The count starts at zero and the latch is considered tripped only after
+/// at least one increment has happened and the count has returned to zero
+/// (the usual "started then quiesced" semantics a pool scope needs).
+pub struct CountLatch {
+    count: AtomicIsize,
+    started: AtomicBool,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl Default for CountLatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CountLatch {
+    /// New latch with zero outstanding items.
+    pub fn new() -> Self {
+        CountLatch {
+            count: AtomicIsize::new(0),
+            started: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Register one more outstanding item.
+    pub fn increment(&self) {
+        self.started.store(true, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Mark one item complete; wakes waiters when the count hits zero.
+    pub fn decrement(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev >= 1, "CountLatch underflow");
+        if prev == 1 {
+            let _g = self.lock.lock();
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Current outstanding count.
+    pub fn outstanding(&self) -> isize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// True if at least one item was registered and all have completed.
+    pub fn is_quiescent(&self) -> bool {
+        self.started.load(Ordering::Relaxed) && self.outstanding() == 0
+    }
+
+    /// Block until quiescent.
+    pub fn wait(&self) {
+        if self.is_quiescent() {
+            return;
+        }
+        let mut g = self.lock.lock();
+        while !self.is_quiescent() {
+            self.condvar.wait(&mut g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn flag_set_then_wait_returns() {
+        let f = Flag::new();
+        assert!(!f.is_set());
+        f.set();
+        assert!(f.is_set());
+        f.wait(); // must not block
+    }
+
+    #[test]
+    fn flag_wakes_waiter() {
+        let f = Arc::new(Flag::new());
+        let f2 = Arc::clone(&f);
+        let h = thread::spawn(move || f2.wait());
+        thread::sleep(std::time::Duration::from_millis(5));
+        f.set();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn flag_set_is_idempotent() {
+        let f = Flag::new();
+        f.set();
+        f.set();
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn count_latch_trips_at_zero() {
+        let l = CountLatch::new();
+        assert!(!l.is_quiescent(), "never-started latch is not quiescent");
+        l.increment();
+        l.increment();
+        assert_eq!(l.outstanding(), 2);
+        l.decrement();
+        assert!(!l.is_quiescent());
+        l.decrement();
+        assert!(l.is_quiescent());
+        l.wait(); // must not block
+    }
+
+    #[test]
+    fn count_latch_concurrent() {
+        let l = Arc::new(CountLatch::new());
+        for _ in 0..64 {
+            l.increment();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = Arc::clone(&l);
+            handles.push(thread::spawn(move || {
+                for _ in 0..8 {
+                    l.decrement();
+                }
+            }));
+        }
+        l.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.outstanding(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! `ft-steal` — a Cilk-style work-stealing runtime built from scratch.
+//!
+//! This crate is the execution substrate for the NABBIT-style task-graph
+//! schedulers in `nabbit-ft`. The paper ("Fault-Tolerant Dynamic Task Graph
+//! Scheduling", SC 2014) runs on Cilk++; we reproduce the relevant runtime
+//! behaviour with:
+//!
+//! * [`deque::Worker`]/[`deque::Stealer`] — a Chase–Lev work-stealing deque implemented directly
+//!   with atomics, following the orderings of Lê, Pop, Cohen & Zappa Nardelli,
+//!   *Correct and Efficient Work-Stealing for Weak Memory Models* (PPoPP'13).
+//! * [`pool::Pool`] — a persistent pool of worker threads, each owning a
+//!   deque; idle workers steal from random victims and park when the system
+//!   has no work.
+//! * [`latch::CountLatch`] / [`latch::Flag`] — completion detection for
+//!   fire-and-forget task DAGs (the sink task trips the latch).
+//! * [`metrics::WorkerMetrics`] — per-worker counters (spawns, steals,
+//!   executed jobs) aggregated without cross-thread contention.
+//!
+//! The pool deliberately exposes a *fire-and-forget* `spawn` rather than
+//! fork-join `join`: NABBIT's traversal routines (`InitAndCompute`,
+//! `TryInitCompute`, ...) only ever spawn children and never sync on them;
+//! graph completion is detected when the sink task completes. This matches
+//! how the paper's scheduler uses Cilk spawns.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_steal::pool::{Pool, PoolConfig};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let pool = Pool::new(PoolConfig::with_threads(4));
+//! let counter = Arc::new(AtomicUsize::new(0));
+//! pool.run_until_complete(|scope| {
+//!     for _ in 0..100 {
+//!         let counter = Arc::clone(&counter);
+//!         scope.spawn(move |_| {
+//!             counter.fetch_add(1, Ordering::Relaxed);
+//!         });
+//!     }
+//! });
+//! assert_eq!(counter.load(Ordering::Relaxed), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod deque;
+pub mod latch;
+pub mod metrics;
+pub mod parker;
+pub mod pool;
+pub mod rng;
+
+pub use latch::{CountLatch, Flag};
+pub use pool::{Pool, PoolConfig, Scope};

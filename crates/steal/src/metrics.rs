@@ -1,0 +1,140 @@
+//! Per-worker scheduler counters.
+//!
+//! The experiment harness reports steals, executed jobs, and failed steal
+//! attempts per run. Counters are owned by their worker (written with
+//! `Relaxed` stores to a cache-line-padded slot) so the measurement itself
+//! costs ~nothing on the hot path — the usual HPC rule that observability
+//! must not perturb the observed system.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache-line padding wrapper to avoid false sharing between workers'
+/// counter blocks.
+#[repr(align(128))]
+pub struct CachePadded<T>(pub T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Counters for one worker thread.
+#[derive(Default)]
+pub struct WorkerMetrics {
+    /// Jobs executed by this worker.
+    pub executed: AtomicU64,
+    /// Jobs pushed by this worker (local spawns).
+    pub spawned: AtomicU64,
+    /// Successful steals from another worker or the injector.
+    pub steals: AtomicU64,
+    /// Steal attempts that found nothing.
+    pub failed_steals: AtomicU64,
+    /// Times this worker went to sleep.
+    pub sleeps: AtomicU64,
+}
+
+impl WorkerMetrics {
+    /// Add `1` to a counter (relaxed; the reader aggregates after quiesce).
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as a plain struct.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            executed: self.executed.load(Ordering::Relaxed),
+            spawned: self.spawned.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            failed_steals: self.failed_steals.load(Ordering::Relaxed),
+            sleeps: self.sleeps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment repetitions).
+    pub fn reset(&self) {
+        self.executed.store(0, Ordering::Relaxed);
+        self.spawned.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.failed_steals.store(0, Ordering::Relaxed);
+        self.sleeps.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs executed.
+    pub executed: u64,
+    /// Jobs spawned locally.
+    pub spawned: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Empty-handed steal attempts.
+    pub failed_steals: u64,
+    /// Park events.
+    pub sleeps: u64,
+}
+
+impl MetricsSnapshot {
+    /// Element-wise sum, for aggregating across workers.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            executed: self.executed + other.executed,
+            spawned: self.spawned + other.spawned,
+            steals: self.steals + other.steals,
+            failed_steals: self.failed_steals + other.failed_steals,
+            sleeps: self.sleeps + other.sleeps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let m = WorkerMetrics::default();
+        WorkerMetrics::bump(&m.executed);
+        WorkerMetrics::bump(&m.executed);
+        WorkerMetrics::bump(&m.steals);
+        let s = m.snapshot();
+        assert_eq!(s.executed, 2);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.spawned, 0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = MetricsSnapshot {
+            executed: 1,
+            spawned: 2,
+            steals: 3,
+            failed_steals: 4,
+            sleeps: 5,
+        };
+        let b = MetricsSnapshot {
+            executed: 10,
+            spawned: 20,
+            steals: 30,
+            failed_steals: 40,
+            sleeps: 50,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.executed, 11);
+        assert_eq!(m.spawned, 22);
+        assert_eq!(m.steals, 33);
+        assert_eq!(m.failed_steals, 44);
+        assert_eq!(m.sleeps, 55);
+    }
+
+    #[test]
+    fn cache_padded_alignment() {
+        assert!(std::mem::align_of::<CachePadded<AtomicU64>>() >= 128);
+    }
+}

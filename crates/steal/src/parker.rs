@@ -1,0 +1,173 @@
+//! Sleep/wake support for idle workers.
+//!
+//! A worker that repeatedly fails to find work must eventually block rather
+//! than burn a core: the experiments in the paper pin one worker per core,
+//! and a spinning sibling distorts measurements. The [`Parker`] here is a
+//! classic eventcount-lite: workers announce themselves as sleepy by
+//! incrementing an epoch-tagged sleeper count; producers that make new work
+//! visible bump the epoch and wake sleepers through a `Condvar`.
+//!
+//! The protocol avoids lost wakeups: a worker re-checks for work *after*
+//! registering as a sleeper and before actually blocking, and `notify`
+//! always bumps the epoch so a sleeper that raced with the notification
+//! observes a stale epoch and retries instead of sleeping.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared sleep/wake state for a pool of workers.
+pub struct Parker {
+    /// High 32 bits: epoch; low 32 bits: number of registered sleepers.
+    state: AtomicU64,
+    lock: Mutex<()>,
+    condvar: Condvar,
+}
+
+const SLEEPERS_MASK: u64 = 0xFFFF_FFFF;
+const EPOCH_UNIT: u64 = 1 << 32;
+
+/// A ticket obtained before blocking; captures the epoch observed when the
+/// worker decided it was out of work.
+#[derive(Clone, Copy, Debug)]
+pub struct SleepToken {
+    epoch: u64,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker {
+    /// Create a parker with no sleepers.
+    pub fn new() -> Self {
+        Parker {
+            state: AtomicU64::new(0),
+            lock: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Phase 1 of going to sleep: record intent and capture the epoch.
+    ///
+    /// After calling this, the worker must re-check all work sources. If it
+    /// finds work it must call [`Parker::cancel_sleep`]; otherwise it calls
+    /// [`Parker::sleep`] with the returned token.
+    pub fn prepare_sleep(&self) -> SleepToken {
+        let prev = self.state.fetch_add(1, Ordering::SeqCst);
+        SleepToken { epoch: prev >> 32 }
+    }
+
+    /// Abort a prepared sleep (work was found on the re-check).
+    pub fn cancel_sleep(&self) {
+        self.state.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Phase 2: block until the epoch advances past the token's epoch.
+    ///
+    /// Returns immediately if a notification already happened.
+    pub fn sleep(&self, token: SleepToken) {
+        let mut guard = self.lock.lock();
+        loop {
+            let cur = self.state.load(Ordering::SeqCst) >> 32;
+            if cur != token.epoch {
+                break;
+            }
+            self.condvar.wait(&mut guard);
+        }
+        drop(guard);
+        self.state.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wake all sleeping workers; called after making new work visible.
+    ///
+    /// Always bumps the epoch so concurrent `prepare_sleep`/`sleep` pairs
+    /// cannot miss the notification.
+    pub fn notify(&self) {
+        let prev = self.state.fetch_add(EPOCH_UNIT, Ordering::SeqCst);
+        if prev & SLEEPERS_MASK != 0 {
+            let _guard = self.lock.lock();
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Number of workers currently registered as (about to be) sleeping.
+    pub fn sleepers(&self) -> usize {
+        (self.state.load(Ordering::SeqCst) & SLEEPERS_MASK) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn notify_before_sleep_returns_immediately() {
+        let p = Parker::new();
+        let token = p.prepare_sleep();
+        p.notify();
+        // Must not block.
+        p.sleep(token);
+        assert_eq!(p.sleepers(), 0);
+    }
+
+    #[test]
+    fn cancel_sleep_decrements() {
+        let p = Parker::new();
+        let _ = p.prepare_sleep();
+        assert_eq!(p.sleepers(), 1);
+        p.cancel_sleep();
+        assert_eq!(p.sleepers(), 0);
+    }
+
+    #[test]
+    fn sleeper_wakes_on_notify() {
+        let p = Arc::new(Parker::new());
+        let woke = Arc::new(AtomicBool::new(false));
+        let h = {
+            let p = Arc::clone(&p);
+            let woke = Arc::clone(&woke);
+            thread::spawn(move || {
+                let token = p.prepare_sleep();
+                p.sleep(token);
+                woke.store(true, Ordering::SeqCst);
+            })
+        };
+        // Wait for the sleeper to register.
+        while p.sleepers() == 0 {
+            thread::yield_now();
+        }
+        assert!(!woke.load(Ordering::SeqCst));
+        p.notify();
+        h.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn many_sleepers_all_wake() {
+        let p = Arc::new(Parker::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = Arc::clone(&p);
+            handles.push(thread::spawn(move || {
+                let token = p.prepare_sleep();
+                p.sleep(token);
+            }));
+        }
+        while p.sleepers() < 8 {
+            thread::yield_now();
+        }
+        // Give them a moment to actually block on the condvar.
+        thread::sleep(Duration::from_millis(10));
+        p.notify();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.sleepers(), 0);
+    }
+}

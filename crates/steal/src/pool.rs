@@ -1,0 +1,567 @@
+//! Persistent work-stealing worker pool.
+//!
+//! `P` worker threads each own a Chase–Lev deque. A job spawned from a
+//! worker goes to that worker's own deque (LIFO pop preserves the Cilk-like
+//! depth-first execution order that makes NABBIT's traversal cache-friendly);
+//! a job submitted from outside goes to a shared injector queue. Idle
+//! workers repeatedly try their own deque, the injector, and random victims,
+//! then park on the pool's [`Parker`].
+//!
+//! The pool exposes **fire-and-forget** spawning plus quiescence detection
+//! ([`Pool::run_until_complete`]): NABBIT's routines only ever spawn and
+//! never join, and a task-graph run is over when every spawned traversal
+//! job has drained (by which time the sink task has completed).
+//!
+//! Panics inside jobs are caught, the first payload is kept, and
+//! `run_until_complete` re-raises it on the submitting thread — otherwise a
+//! panicking job would leak the quiescence count and deadlock the run.
+
+use crate::deque::{self, Steal, Stealer, Worker};
+use crate::latch::CountLatch;
+use crate::metrics::{CachePadded, MetricsSnapshot, WorkerMetrics};
+use crate::parker::Parker;
+use crate::rng::XorShift64Star;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of work. Receives a [`Scope`] so it can spawn more work.
+type Job = Box<dyn FnOnce(&Scope<'_>) + Send>;
+
+/// Configuration for a [`Pool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Seed for the per-worker victim-selection RNGs.
+    pub seed: u64,
+    /// How many full steal sweeps an idle worker performs before parking.
+    pub steal_rounds: u32,
+}
+
+impl PoolConfig {
+    /// Config with `threads` workers and default tuning.
+    pub fn with_threads(threads: usize) -> Self {
+        PoolConfig {
+            threads: threads.max(1),
+            seed: 0x5EED_CAFE,
+            // Sweeps before parking: enough to ride out short gaps on real
+            // multicore, small enough that oversubscribed workers (threads
+            // > cores) don't burn the cores the runnable workers need.
+            steal_rounds: 8,
+        }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+/// Shared state between the pool handle and its workers.
+struct PoolState {
+    stealers: Vec<Stealer<Job>>,
+    injector: Mutex<VecDeque<Job>>,
+    /// Approximate injector length, readable without taking the lock.
+    injector_len: AtomicU64,
+    parker: Parker,
+    pending: CountLatch,
+    metrics: Vec<CachePadded<WorkerMetrics>>,
+    shutdown: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    threads: usize,
+    steal_rounds: u32,
+}
+
+/// Handle for spawning work into a pool from inside a job or from the
+/// submitting thread.
+pub struct Scope<'a> {
+    state: &'a PoolState,
+}
+
+impl<'a> Scope<'a> {
+    /// Spawn a fire-and-forget job.
+    ///
+    /// From a worker thread of this pool the job lands on the worker's own
+    /// deque; otherwise it goes through the shared injector.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_>) + Send + 'static,
+    {
+        self.state.spawn_job(Box::new(f));
+    }
+
+    /// Number of worker threads in the pool this scope belongs to.
+    pub fn num_threads(&self) -> usize {
+        self.state.threads
+    }
+
+    /// Index of the current worker thread, if the calling thread is one.
+    pub fn worker_index(&self) -> Option<usize> {
+        current_worker_index(self.state)
+    }
+}
+
+thread_local! {
+    /// Set while a worker thread of some pool is running: points at that
+    /// worker's local context.
+    static LOCAL: Cell<*const LocalCtx> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Per-worker context, reachable through the thread-local above.
+struct LocalCtx {
+    deque: Worker<Job>,
+    index: usize,
+    /// Identity of the owning pool, to guard against cross-pool spawns.
+    pool_id: *const PoolState,
+}
+
+fn current_worker_index(state: &PoolState) -> Option<usize> {
+    LOCAL.with(|l| {
+        let p = l.get();
+        if p.is_null() {
+            return None;
+        }
+        let ctx = unsafe { &*p };
+        if std::ptr::eq(ctx.pool_id, state) {
+            Some(ctx.index)
+        } else {
+            None
+        }
+    })
+}
+
+impl PoolState {
+    fn spawn_job(&self, job: Job) {
+        self.pending.increment();
+        let mut job = Some(job);
+        LOCAL.with(|l| {
+            let p = l.get();
+            if p.is_null() {
+                return;
+            }
+            let ctx = unsafe { &*p };
+            if !std::ptr::eq(ctx.pool_id, self) {
+                return;
+            }
+            WorkerMetrics::bump(&self.metrics[ctx.index].spawned);
+            ctx.deque.push(job.take().expect("job present"));
+        });
+        if let Some(job) = job {
+            // Submitting thread is not a worker of this pool: go through
+            // the shared injector.
+            let mut q = self.injector.lock();
+            q.push_back(job);
+            self.injector_len.fetch_add(1, Ordering::Release);
+            drop(q);
+        }
+        self.parker.notify();
+    }
+
+    /// True if any queue in the system visibly holds work.
+    fn has_visible_work(&self) -> bool {
+        if self.injector_len.load(Ordering::Acquire) > 0 {
+            return true;
+        }
+        self.stealers.iter().any(|s| !s.is_empty())
+    }
+}
+
+/// A persistent work-stealing pool.
+pub struct Pool {
+    state: Arc<PoolState>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Create a pool with the given configuration; workers start immediately
+    /// and park until work arrives.
+    pub fn new(config: PoolConfig) -> Self {
+        let threads = config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        let mut stealers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (w, s) = deque::deque::<Job>();
+            workers.push(w);
+            stealers.push(s);
+        }
+        let metrics = (0..threads)
+            .map(|_| CachePadded(WorkerMetrics::default()))
+            .collect();
+        let state = Arc::new(PoolState {
+            stealers,
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicU64::new(0),
+            parker: Parker::new(),
+            pending: CountLatch::new(),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            threads,
+            steal_rounds: config.steal_rounds.max(1),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for (index, w) in workers.into_iter().enumerate() {
+            let state = Arc::clone(&state);
+            let seed = config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1));
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ft-steal-worker-{index}"))
+                    .spawn(move || worker_main(state, w, index, seed))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Pool { state, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.state.threads
+    }
+
+    /// Run `f` (which spawns the root work) and block until the pool
+    /// quiesces — every transitively spawned job has finished.
+    ///
+    /// If any job panicked, the first panic payload is re-raised here.
+    pub fn run_until_complete<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_>),
+    {
+        let scope = Scope { state: &self.state };
+        // Sentinel item: guarantees the latch "starts" even if `f` spawns
+        // nothing, and holds the count above zero while `f` is still
+        // submitting.
+        self.state.pending.increment();
+        f(&scope);
+        self.state.pending.decrement();
+        self.state.pending.wait();
+        if let Some(payload) = self.state.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Spawn a single fire-and-forget job from outside any run. Prefer
+    /// [`Pool::run_until_complete`] for bounded work.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_>) + Send + 'static,
+    {
+        let scope = Scope { state: &self.state };
+        scope.spawn(f);
+    }
+
+    /// Aggregate the per-worker metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state
+            .metrics
+            .iter()
+            .map(|m| m.snapshot())
+            .fold(MetricsSnapshot::default(), |a, b| a.merge(&b))
+    }
+
+    /// Per-worker metric snapshots (index = worker id).
+    pub fn metrics_per_worker(&self) -> Vec<MetricsSnapshot> {
+        self.state.metrics.iter().map(|m| m.snapshot()).collect()
+    }
+
+    /// Zero all metrics (between experiment repetitions).
+    pub fn reset_metrics(&self) {
+        for m in &self.state.metrics {
+            m.reset();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        // Wake everyone until they have all exited.
+        for h in self.handles.drain(..) {
+            while !h.is_finished() {
+                self.state.parker.notify();
+                std::thread::yield_now();
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u64) {
+    let ctx = LocalCtx {
+        deque,
+        index,
+        pool_id: Arc::as_ptr(&state),
+    };
+    LOCAL.with(|l| l.set(&ctx as *const LocalCtx));
+    let mut rng = XorShift64Star::new(seed);
+    let scope = Scope { state: &state };
+    let metrics = &state.metrics[index];
+
+    loop {
+        if let Some(job) = find_job(&state, &ctx, index, &mut rng) {
+            WorkerMetrics::bump(&metrics.executed);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job(&scope);
+            }));
+            // Store the payload *before* decrementing: the waiter in
+            // `run_until_complete` reads the panic slot as soon as the
+            // pending count hits zero.
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.pending.decrement();
+            continue;
+        }
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Nothing found after a full sweep: two-phase park.
+        let token = state.parker.prepare_sleep();
+        if state.has_visible_work() || state.shutdown.load(Ordering::Acquire) {
+            state.parker.cancel_sleep();
+            continue;
+        }
+        WorkerMetrics::bump(&metrics.sleeps);
+        state.parker.sleep(token);
+    }
+    LOCAL.with(|l| l.set(std::ptr::null()));
+}
+
+/// One attempt to obtain a job: local deque, then injector, then
+/// `steal_rounds` sweeps over random victims.
+fn find_job(
+    state: &PoolState,
+    ctx: &LocalCtx,
+    index: usize,
+    rng: &mut XorShift64Star,
+) -> Option<Job> {
+    if let Some(job) = ctx.deque.pop() {
+        return Some(job);
+    }
+    if let Some(job) = pop_injector(state) {
+        WorkerMetrics::bump(&state.metrics[index].steals);
+        return Some(job);
+    }
+    let n = state.threads;
+    for _ in 0..state.steal_rounds {
+        // Random starting victim, then sweep all others once.
+        let start = rng.next_below(n.max(1));
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if victim == index {
+                continue;
+            }
+            loop {
+                match state.stealers[victim].steal() {
+                    Steal::Success(job) => {
+                        WorkerMetrics::bump(&state.metrics[index].steals);
+                        return Some(job);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        if let Some(job) = pop_injector(state) {
+            WorkerMetrics::bump(&state.metrics[index].steals);
+            return Some(job);
+        }
+        if state.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        std::hint::spin_loop();
+    }
+    WorkerMetrics::bump(&state.metrics[index].failed_steals);
+    None
+}
+
+fn pop_injector(state: &PoolState) -> Option<Job> {
+    if state.injector_len.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut q = state.injector.lock();
+    let job = q.pop_front();
+    if job.is_some() {
+        state.injector_len.fetch_sub(1, Ordering::Release);
+    }
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_simple_jobs() {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.run_until_complete(|scope| {
+            for _ in 0..1000 {
+                let c = Arc::clone(&counter);
+                scope.spawn(move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn recursive_spawning_quiesces() {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        fn fanout(scope: &Scope<'_>, depth: usize, counter: Arc<AtomicUsize>) {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                for _ in 0..2 {
+                    let c = Arc::clone(&counter);
+                    scope.spawn(move |s| fanout(s, depth - 1, c));
+                }
+            }
+        }
+        let c = Arc::clone(&counter);
+        pool.run_until_complete(|scope| {
+            scope.spawn(move |s| fanout(s, 10, c));
+        });
+        // 2^11 - 1 nodes in a binary tree of depth 10.
+        assert_eq!(counter.load(Ordering::Relaxed), 2047);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(PoolConfig::with_threads(1));
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.run_until_complete(|scope| {
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                scope.spawn(move |s| {
+                    let c2 = Arc::clone(&c);
+                    s.spawn(move |_| {
+                        c2.fetch_add(1, Ordering::Relaxed);
+                    });
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn multiple_runs_reuse_pool() {
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        for round in 1..=5 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&counter);
+            pool.run_until_complete(|scope| {
+                for _ in 0..round * 10 {
+                    let c = Arc::clone(&c);
+                    scope.spawn(move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), round * 10);
+        }
+    }
+
+    #[test]
+    fn empty_run_returns() {
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        pool.run_until_complete(|_| {});
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_until_complete(|scope| {
+                scope.spawn(|_| panic!("boom"));
+                for _ in 0..10 {
+                    scope.spawn(|_| {});
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.run_until_complete(|scope| {
+            scope.spawn(move |_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_index_available_inside_jobs() {
+        let pool = Pool::new(PoolConfig::with_threads(3));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        pool.run_until_complete(|scope| {
+            assert_eq!(scope.worker_index(), None, "submitter is not a worker");
+            for _ in 0..64 {
+                let seen = Arc::clone(&s2);
+                scope.spawn(move |s| {
+                    let idx = s.worker_index().expect("job runs on a worker");
+                    assert!(idx < s.num_threads());
+                    seen.lock().push(idx);
+                });
+            }
+        });
+        assert_eq!(seen.lock().len(), 64);
+    }
+
+    #[test]
+    fn metrics_account_all_jobs() {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        pool.reset_metrics();
+        pool.run_until_complete(|scope| {
+            for _ in 0..500 {
+                scope.spawn(|s| {
+                    s.spawn(|_| {});
+                });
+            }
+        });
+        let m = pool.metrics();
+        assert_eq!(m.executed, 1000);
+        // The 500 inner jobs were spawned from workers.
+        assert_eq!(m.spawned, 500);
+    }
+
+    #[test]
+    fn workload_with_compute_finishes() {
+        // A somewhat realistic irregular workload: jobs of varying size.
+        let pool = Pool::new(PoolConfig::default());
+        let total = Arc::new(AtomicUsize::new(0));
+        let t = Arc::clone(&total);
+        pool.run_until_complete(|scope| {
+            for i in 0..200usize {
+                let t = Arc::clone(&t);
+                scope.spawn(move |_| {
+                    let mut acc = 0usize;
+                    for k in 0..(i % 17 + 1) * 1000 {
+                        acc = acc.wrapping_add(k).rotate_left(3);
+                    }
+                    t.fetch_add(acc.max(1).min(1), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+    }
+}

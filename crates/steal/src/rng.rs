@@ -1,0 +1,89 @@
+//! Tiny per-worker PRNG for victim selection.
+//!
+//! Work stealing only needs fast, decorrelated victim choices, not
+//! cryptographic quality; an xorshift64* generator is the standard choice
+//! (it is what Cilk-family runtimes and rayon use variants of). Keeping it
+//! local to the worker avoids any shared state on the steal path.
+
+/// xorshift64* generator. One instance per worker thread.
+#[derive(Debug, Clone)]
+pub struct XorShift64Star {
+    state: u64,
+}
+
+impl XorShift64Star {
+    /// Seed the generator. A zero seed is remapped (xorshift requires a
+    /// non-zero state).
+    pub fn new(seed: u64) -> Self {
+        XorShift64Star {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish value in `0..n` (`n` must be non-zero). Uses the
+    /// widening-multiply trick; bias is negligible for small `n` (worker
+    /// counts), which is all victim selection needs.
+    #[inline]
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64Star::new(0);
+        // Must not get stuck at zero.
+        assert_ne!(r.next_u64(), 0);
+        assert_ne!(r.next_u64(), r.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = XorShift64Star::new(42);
+        for _ in 0..10_000 {
+            let v = r.next_below(7);
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn next_below_covers_all_values() {
+        let mut r = XorShift64Star::new(7);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[r.next_below(8)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets should be hit: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = XorShift64Star::new(1);
+        let mut b = XorShift64Star::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the Chase–Lev deque (invariant P5 of DESIGN.md):
+//! under any operation sequence, no element is lost or duplicated, and
+//! owner-side semantics match a sequential deque model.
+
+use ft_steal::deque::{deque, Steal};
+use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
+
+/// Operations the owner and a (sequentialized) thief can perform.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Sequential model equivalence: running the ops single-threaded, the
+    /// deque must behave exactly like a VecDeque (push/pop at the back,
+    /// steal from the front).
+    #[test]
+    fn matches_sequential_model(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let (w, s) = deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => None, // cannot happen single-threaded
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+        }
+    }
+
+    /// Exactly-once delivery under a concurrent thief: every pushed element
+    /// is obtained by exactly one of {owner pop, thief steal}.
+    #[test]
+    fn concurrent_no_loss_no_dup(
+        n in 1usize..2000,
+        pop_every in 1usize..7,
+    ) {
+        let (w, s) = deque::<usize>();
+        let seen_thief = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    match s.steal() {
+                        Steal::Success(v) => seen.push(v),
+                        Steal::Empty => {
+                            if s.is_empty() && seen.len() >= n {
+                                break;
+                            }
+                            // Termination: thief gives up after the owner
+                            // stops producing; detected via a sentinel.
+                            if seen.last() == Some(&usize::MAX) {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                        Steal::Retry => {}
+                    }
+                    if seen.last() == Some(&usize::MAX) {
+                        break;
+                    }
+                }
+                seen
+            });
+            let mut seen_owner = Vec::new();
+            for i in 0..n {
+                w.push(i);
+                if i % pop_every == 0 {
+                    if let Some(v) = w.pop() {
+                        seen_owner.push(v);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                seen_owner.push(v);
+            }
+            // Sentinel so the thief can terminate even if it saw nothing.
+            w.push(usize::MAX);
+            let mut thief = loop {
+                // The sentinel might be popped by... nobody: owner is done.
+                // Thief will pick it up.
+                if handle.is_finished() {
+                    break handle.join().unwrap();
+                }
+                std::hint::spin_loop();
+            };
+            // Remove the sentinel wherever it landed.
+            thief.retain(|&v| v != usize::MAX);
+            (seen_owner, thief)
+        });
+        let (owner, thief) = seen_thief;
+        let mut all: Vec<usize> = owner;
+        all.extend(thief);
+        prop_assert_eq!(all.len(), n, "every element delivered exactly once");
+        let set: HashSet<usize> = all.iter().copied().collect();
+        prop_assert_eq!(set.len(), n, "no duplicates");
+    }
+}
+
+#[test]
+fn owner_sees_lifo_thief_sees_fifo() {
+    let (w, s) = deque::<u32>();
+    for i in 0..100 {
+        w.push(i);
+    }
+    assert_eq!(s.steal(), Steal::Success(0), "thief takes the oldest");
+    assert_eq!(w.pop(), Some(99), "owner takes the newest");
+    assert_eq!(s.steal(), Steal::Success(1));
+    assert_eq!(w.pop(), Some(98));
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the pool's external-submission path and latch
+//! APIs — the paths `run_until_complete` does not exercise.
+
+use ft_steal::latch::{CountLatch, Flag};
+use ft_steal::pool::{Pool, PoolConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn external_spawn_executes_without_run() {
+    let pool = Pool::new(PoolConfig::with_threads(2));
+    let done = Arc::new(Flag::new());
+    let d = Arc::clone(&done);
+    pool.spawn(move |_| d.set());
+    done.wait();
+    assert!(done.is_set());
+}
+
+#[test]
+fn external_spawn_can_fan_out() {
+    let pool = Pool::new(PoolConfig::with_threads(3));
+    let latch = Arc::new(CountLatch::new());
+    let counter = Arc::new(AtomicUsize::new(0));
+    for _ in 0..50 {
+        latch.increment();
+    }
+    for _ in 0..50 {
+        let latch = Arc::clone(&latch);
+        let counter = Arc::clone(&counter);
+        pool.spawn(move |s| {
+            // Jobs spawned from workers fan out further.
+            let inner_latch = Arc::clone(&latch);
+            let inner_counter = Arc::clone(&counter);
+            s.spawn(move |_| {
+                inner_counter.fetch_add(1, Ordering::Relaxed);
+                inner_latch.decrement();
+            });
+        });
+    }
+    latch.wait();
+    assert_eq!(counter.load(Ordering::Relaxed), 50);
+}
+
+#[test]
+fn injector_path_used_for_external_submissions() {
+    // Submissions from a non-worker thread must go through the injector
+    // and still be executed (steal metric counts injector pops as steals).
+    let pool = Pool::new(PoolConfig::with_threads(2));
+    pool.reset_metrics();
+    let flag = Arc::new(Flag::new());
+    let f = Arc::clone(&flag);
+    pool.spawn(move |_| f.set());
+    flag.wait();
+    let m = pool.metrics();
+    assert!(m.executed >= 1);
+    assert!(m.steals >= 1, "external job must arrive via the injector");
+    assert_eq!(m.spawned, 0, "no worker-local spawns happened");
+}
+
+#[test]
+fn pool_drop_with_idle_workers_terminates() {
+    // Regression guard: dropping a pool whose workers are parked must not
+    // hang (the shutdown path has to wake them).
+    for _ in 0..5 {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        pool.run_until_complete(|scope| {
+            scope.spawn(|_| {});
+        });
+        drop(pool);
+    }
+}
+
+#[test]
+fn many_pools_coexist() {
+    // Two pools in one process: thread-local worker contexts must not
+    // cross-contaminate (spawns from pool A workers stay in pool A).
+    let a = Pool::new(PoolConfig::with_threads(2));
+    let b = Pool::new(PoolConfig::with_threads(2));
+    let count_a = Arc::new(AtomicUsize::new(0));
+    let count_b = Arc::new(AtomicUsize::new(0));
+    let ca = Arc::clone(&count_a);
+    a.run_until_complete(|scope| {
+        for _ in 0..100 {
+            let ca = Arc::clone(&ca);
+            scope.spawn(move |s| {
+                let ca2 = Arc::clone(&ca);
+                s.spawn(move |_| {
+                    ca2.fetch_add(1, Ordering::Relaxed);
+                });
+                ca.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    let cb = Arc::clone(&count_b);
+    b.run_until_complete(|scope| {
+        for _ in 0..100 {
+            let cb = Arc::clone(&cb);
+            scope.spawn(move |_| {
+                cb.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count_a.load(Ordering::Relaxed), 200);
+    assert_eq!(count_b.load(Ordering::Relaxed), 100);
+}
+
+#[test]
+fn num_threads_reported() {
+    let pool = Pool::new(PoolConfig::with_threads(3));
+    assert_eq!(pool.num_threads(), 3);
+    pool.run_until_complete(|scope| {
+        assert_eq!(scope.num_threads(), 3);
+    });
+}

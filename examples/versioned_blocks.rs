@@ -1,0 +1,58 @@
+//! Versioned data blocks and cascading recovery: the Floyd-Warshall
+//! benchmark with the paper's two-version retention vs the single-version
+//! ablation. Demonstrates why the paper "adapted the implementation to
+//! retain two versions per data block" — single-version reuse makes every
+//! recovery cascade to the bottom of the version chain.
+//!
+//! Run with: `cargo run --release --example versioned_blocks`
+
+use ft_apps::fw::Fw;
+use ft_apps::{AppConfig, BenchApp, VersionClass};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::inject::{FaultPlan, Phase};
+use nabbit_ft::scheduler::FtScheduler;
+use std::sync::Arc;
+
+fn run(label: &str, app: Arc<Fw>, faults: usize, pool: &Pool) {
+    let last = app.tasks_of_class(VersionClass::Last);
+    let plan = FaultPlan::sample(&last, faults, Phase::AfterCompute, 99);
+    let report = FtScheduler::with_plan(Arc::clone(&app) as _, Arc::new(plan)).run(pool);
+    assert!(report.sink_completed);
+    app.verify().expect("shortest paths match the reference");
+    println!(
+        "{label}: {} faults on v=last tasks -> {} task re-executions \
+         ({} overwritten-version reads, {} recoveries)",
+        report.injected, report.re_executions, report.overwrite_faults, report.recoveries
+    );
+}
+
+fn main() {
+    let pool = Pool::new(PoolConfig::with_threads(4));
+    let cfg = AppConfig::new(384, 48); // nb = 8 rounds
+
+    println!(
+        "blocked Floyd-Warshall, {}x{} in {}x{} tiles, 8 rounds\n",
+        cfg.n, cfg.n, cfg.b, cfg.b
+    );
+
+    // Paper configuration: two retained versions per block. Recovering a
+    // last-round task needs the previous round's version, which is usually
+    // still resident -> short chains.
+    run("two versions (paper)", Arc::new(Fw::new(cfg)), 3, &pool);
+
+    // Ablation: one retained version. The needed input version is always
+    // already overwritten -> every recovery rebuilds the whole chain of
+    // producers for that block (and, transitively, their inputs).
+    run(
+        "one version (ablation)",
+        Arc::new(Fw::with_single_version(cfg)),
+        3,
+        &pool,
+    );
+
+    println!(
+        "\nthe single-version configuration re-executes far more tasks per \
+         fault;\nthe paper doubled FW's memory (two versions) exactly to cut \
+         these chains."
+    );
+}

@@ -1,0 +1,127 @@
+//! Single-assignment vs memory-reuse strategies (Section VI: "We evaluated
+//! single-assignment and memory reuse strategies for implementing these
+//! benchmarks"). The paper expects FT overheads "for the single-assignment
+//! implementations to be lower" because recovery never has to rebuild
+//! evicted inputs.
+
+use ft_apps::cholesky::Cholesky;
+use ft_apps::fw::Fw;
+use ft_apps::lu::Lu;
+use ft_apps::sw::Sw;
+use ft_apps::{AppConfig, BenchApp, VersionClass};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::inject::{FaultPlan, Phase};
+use nabbit_ft::scheduler::FtScheduler;
+use nabbit_ft::TaskGraph;
+use std::sync::Arc;
+
+const CFG: (usize, usize) = (96, 16); // nb = 6
+
+fn run_with_last_faults<A: BenchApp + 'static>(
+    app: Arc<A>,
+    faults: usize,
+    seed: u64,
+) -> nabbit_ft::RunReport {
+    let last = app.tasks_of_class(VersionClass::Last);
+    let plan = Arc::new(FaultPlan::sample(&last, faults, Phase::AfterCompute, seed));
+    let pool = Pool::new(PoolConfig::with_threads(4));
+    let report = FtScheduler::with_plan(Arc::clone(&app) as Arc<dyn TaskGraph>, plan).run(&pool);
+    assert!(report.sink_completed);
+    app.verify().expect("results verified");
+    report
+}
+
+#[test]
+fn sw_single_assignment_correct_and_chainless() {
+    let sa = Arc::new(Sw::single_assignment(AppConfig::new(CFG.0, CFG.1)));
+    let report = run_with_last_faults(sa, 3, 7);
+    // No eviction → recovering a v=last task re-executes only itself.
+    assert_eq!(report.re_executions, 3);
+    assert_eq!(report.overwrite_faults, 0);
+}
+
+#[test]
+fn sw_single_assignment_graph_has_no_anti_edges() {
+    let sa = Sw::single_assignment(AppConfig::new(64, 16)); // 4x4 tiles
+    let reuse = Sw::new(AppConfig::new(64, 16));
+    let s_sa = nabbit_ft::analysis::graph_stats(&sa);
+    let s_reuse = nabbit_ft::analysis::graph_stats(&reuse);
+    assert_eq!(s_sa.tasks, s_reuse.tasks);
+    // Data edges 2·nb·(nb−1) = 24; reuse adds (nb−2)(nb−1) = 6 anti edges.
+    assert_eq!(s_sa.edges, 24);
+    assert_eq!(s_reuse.edges, 30);
+}
+
+#[test]
+fn fw_single_assignment_correct_and_chainless() {
+    let sa = Arc::new(Fw::single_assignment(AppConfig::new(CFG.0, CFG.1)));
+    let report = run_with_last_faults(sa, 3, 11);
+    assert_eq!(
+        report.re_executions, 3,
+        "KeepAll: no cascading recomputation"
+    );
+    assert_eq!(report.overwrite_faults, 0);
+}
+
+#[test]
+fn fw_strategy_spectrum_edge_counts() {
+    let cfg = AppConfig::new(96, 16); // nb = 6
+    let sa = nabbit_ft::analysis::graph_stats(&Fw::single_assignment(cfg));
+    let two = nabbit_ft::analysis::graph_stats(&Fw::new(cfg));
+    let one = nabbit_ft::analysis::graph_stats(&Fw::with_single_version(cfg));
+    assert_eq!(sa.tasks, two.tasks);
+    assert_eq!(two.tasks, one.tasks);
+    // Anti-dependence edges grow as retention shrinks.
+    assert!(sa.edges < two.edges, "{} < {}", sa.edges, two.edges);
+    assert!(two.edges < one.edges, "{} < {}", two.edges, one.edges);
+}
+
+#[test]
+fn lu_single_assignment_correct() {
+    let sa = Arc::new(Lu::single_assignment(AppConfig::new(CFG.0, CFG.1)));
+    let report = run_with_last_faults(sa, 4, 13);
+    assert_eq!(report.re_executions, 4);
+    assert_eq!(report.overwrite_faults, 0);
+}
+
+#[test]
+fn cholesky_single_assignment_correct() {
+    let sa = Arc::new(Cholesky::single_assignment(AppConfig::new(CFG.0, CFG.1)));
+    let report = run_with_last_faults(sa, 4, 17);
+    assert_eq!(report.re_executions, 4);
+    assert_eq!(report.overwrite_faults, 0);
+}
+
+#[test]
+fn reuse_can_cascade_where_single_assignment_cannot() {
+    // The crispest contrast: FW with one retained version vs KeepAll,
+    // identical faults. The reuse variant re-executes producer chains; the
+    // single-assignment variant re-executes exactly the failed tasks.
+    let cfg = AppConfig::new(96, 16);
+    let faults = 3;
+
+    let sa = Arc::new(Fw::single_assignment(cfg));
+    let r_sa = run_with_last_faults(sa, faults, 99);
+
+    let reuse = Arc::new(Fw::with_single_version(cfg));
+    let r_reuse = run_with_last_faults(reuse, faults, 99);
+
+    assert_eq!(r_sa.re_executions, faults as u64);
+    assert!(
+        r_reuse.re_executions > 5 * faults as u64,
+        "plain reuse must cascade: {} re-executions for {} faults",
+        r_reuse.re_executions,
+        faults
+    );
+}
+
+#[test]
+fn both_strategies_agree_on_results() {
+    // Same inputs, different strategies, identical answers (with faults).
+    let cfg = AppConfig::new(CFG.0, CFG.1);
+    let a = Arc::new(Sw::new(cfg));
+    let b = Arc::new(Sw::single_assignment(cfg));
+    run_with_last_faults(Arc::clone(&a), 2, 5);
+    run_with_last_faults(Arc::clone(&b), 2, 5);
+    assert_eq!(a.result(), b.result(), "strategies agree on the SW score");
+}

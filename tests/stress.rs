@@ -1,0 +1,204 @@
+//! Stress tests: dense fault load, recursive failures, deep recovery
+//! chains, and scheduler-infrastructure churn. These exist to shake out
+//! races the unit tests' small configurations cannot reach.
+
+use ft_apps::fw::Fw;
+use ft_apps::lu::Lu;
+use ft_apps::sw::Sw;
+use ft_apps::{AppConfig, BenchApp, VersionClass};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::fault::Fault;
+use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+use nabbit_ft::inject::{FaultPlan, FaultSite, Phase};
+use nabbit_ft::scheduler::FtScheduler;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn watchdog<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(secs))
+        .expect("stress run hung");
+}
+
+#[test]
+fn every_task_fails_three_times_sw() {
+    watchdog(240, || {
+        let app = Arc::new(Sw::new(AppConfig::new(64, 16)));
+        let sites: Vec<FaultSite> = app
+            .all_tasks()
+            .into_iter()
+            .map(|k| FaultSite {
+                key: k,
+                phase: Phase::AfterCompute,
+                fires: 3,
+            })
+            .collect();
+        let plan = Arc::new(FaultPlan::new(sites));
+        let pool = Pool::new(PoolConfig::with_threads(8));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        app.verify().unwrap();
+    });
+}
+
+#[test]
+fn mixed_phase_dense_faults_lu() {
+    watchdog(240, || {
+        let app = Arc::new(Lu::new(AppConfig::new(96, 16)));
+        let keys = app.all_tasks();
+        let sink = app.sink();
+        let sites: Vec<FaultSite> = keys
+            .iter()
+            .enumerate()
+            .filter(|&(_, &k)| k != sink)
+            .map(|(i, &k)| FaultSite {
+                key: k,
+                phase: match i % 3 {
+                    0 => Phase::BeforeCompute,
+                    1 => Phase::AfterCompute,
+                    _ => Phase::AfterNotify,
+                },
+                fires: 1,
+            })
+            .collect();
+        let plan = Arc::new(FaultPlan::new(sites));
+        let pool = Pool::new(PoolConfig::with_threads(8));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        let o = app.verify_detailed().unwrap();
+        assert!(o.checked > 0);
+        assert!(o.skipped_poisoned as u64 <= report.injected);
+    });
+}
+
+#[test]
+fn deep_chain_recovery_fw_single_version() {
+    // KeepLast(1) + failing the last round's tasks: recovery must rebuild
+    // long version chains, sequentially (the paper's worst case).
+    watchdog(300, || {
+        let app = Arc::new(Fw::with_single_version(AppConfig::new(96, 16))); // nb=6
+        let last = app.tasks_of_class(VersionClass::Last);
+        let plan = Arc::new(FaultPlan::sample(&last, 3, Phase::AfterCompute, 1234));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        assert!(
+            report.re_executions >= 3,
+            "chains imply >= planned re-executions, got {}",
+            report.re_executions
+        );
+        app.verify().unwrap();
+    });
+}
+
+#[test]
+fn long_narrow_chain_graph_with_faults() {
+    // A pure chain maximizes the critical path and serial recovery.
+    struct Chain {
+        len: i64,
+    }
+    impl TaskGraph for Chain {
+        fn sink(&self) -> Key {
+            self.len - 1
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            if k == 0 {
+                vec![]
+            } else {
+                vec![k - 1]
+            }
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            if k == self.len - 1 {
+                vec![]
+            } else {
+                vec![k + 1]
+            }
+        }
+        fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+            Ok(())
+        }
+    }
+    watchdog(180, || {
+        let g = Arc::new(Chain { len: 2000 });
+        let keys: Vec<Key> = (0..2000).collect();
+        let plan = Arc::new(FaultPlan::sample(&keys, 200, Phase::AfterCompute, 5));
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let report = FtScheduler::with_plan(g as _, plan).run(&pool);
+        assert!(report.sink_completed);
+        assert_eq!(report.injected, 200);
+        assert_eq!(report.re_executions, 200);
+    });
+}
+
+#[test]
+fn wide_star_graph_with_faulty_center() {
+    // Sink with 2000 predecessors, all notifying concurrently, center
+    // failing repeatedly: contention on one notify array + bit vector.
+    struct Star {
+        width: i64,
+    }
+    impl TaskGraph for Star {
+        fn sink(&self) -> Key {
+            self.width
+        }
+        fn predecessors(&self, k: Key) -> Vec<Key> {
+            if k == self.width {
+                (0..self.width).collect()
+            } else {
+                vec![]
+            }
+        }
+        fn successors(&self, k: Key) -> Vec<Key> {
+            if k == self.width {
+                vec![]
+            } else {
+                vec![self.width]
+            }
+        }
+        fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
+            Ok(())
+        }
+    }
+    watchdog(180, || {
+        let g = Arc::new(Star { width: 2000 });
+        let mut sites: Vec<FaultSite> = (0..2000)
+            .step_by(17)
+            .map(|k| FaultSite::once(k, Phase::AfterCompute))
+            .collect();
+        sites.push(FaultSite {
+            key: 2000,
+            phase: Phase::AfterCompute,
+            fires: 4,
+        });
+        let plan = Arc::new(FaultPlan::new(sites));
+        let pool = Pool::new(PoolConfig::with_threads(8));
+        let report = FtScheduler::with_plan(g as _, plan).run(&pool);
+        assert!(report.sink_completed);
+    });
+}
+
+#[test]
+fn repeated_runs_do_not_leak_state() {
+    // The pool is reused across many faulted runs; per-run scheduler state
+    // (maps, recovery table) must be independent.
+    watchdog(300, || {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        for round in 0..10 {
+            let app = Arc::new(Sw::new(AppConfig::new(64, 16)));
+            let keys = app.all_tasks();
+            let plan = Arc::new(FaultPlan::sample(&keys, 4, Phase::AfterCompute, round));
+            let sched = FtScheduler::with_plan(Arc::clone(&app) as _, plan);
+            let report = sched.run(&pool);
+            assert!(report.sink_completed, "round {round}");
+            app.verify()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            assert_eq!(sched.recovery_table_len(), 4, "round {round}");
+        }
+    });
+}
