@@ -283,7 +283,7 @@ impl TaskGraph for Fw {
                 }
             }
         }
-        if k + 1 <= self.last_round {
+        if k < self.last_round {
             let q = Self::key(k + 1, i, j);
             if !s.contains(&q) {
                 s.push(q);

@@ -192,7 +192,7 @@ impl TaskGraph for Sw {
 
         let mut prev: Vec<i32> = (0..b).map(top_row).collect();
         let mut cur = vec![0i32; b];
-        let mut right_col = vec![0i32; b];
+        let mut right_col = Vec::with_capacity(b);
         for u in 0..b {
             let xc = self.x[i * b + u];
             for v in 0..b {
@@ -214,7 +214,7 @@ impl TaskGraph for Sw {
                 cur[v] = h;
                 running_max = running_max.max(h);
             }
-            right_col[u] = cur[b - 1];
+            right_col.push(cur[b - 1]);
             std::mem::swap(&mut prev, &mut cur);
         }
 

@@ -558,7 +558,8 @@ fn reuse(opts: &Opts) -> ExperimentReport {
     let p = opts.max_threads();
     let pool = Pool::new(PoolConfig::with_threads(p));
     let faults = (opts.loss / 4).max(1);
-    let entries: Vec<(&str, &str, Box<dyn Fn() -> Arc<dyn BenchApp>>)> = vec![
+    type AppCtor = Box<dyn Fn() -> Arc<dyn BenchApp>>;
+    let entries: Vec<(&str, &str, AppCtor)> = vec![
         ("SW", "reuse", {
             let c = opts.config(AppKind::Sw);
             Box::new(move || Arc::new(Sw::new(c)) as _)

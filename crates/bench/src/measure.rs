@@ -7,7 +7,7 @@
 use std::time::Instant;
 
 /// Mean / std / min / max of repeated measurements (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {
     /// Arithmetic mean.
     pub mean: f64,

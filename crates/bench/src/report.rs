@@ -2,12 +2,11 @@
 //! EXPERIMENTS.md can record paper-vs-measured for every table and figure.
 
 use crate::measure::Stats;
-use serde::Serialize;
 use std::io::Write;
 use std::path::Path;
 
 /// One row of an experiment table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (benchmark, scenario, …).
     pub label: String,
@@ -16,7 +15,7 @@ pub struct Row {
 }
 
 /// A complete experiment: identifies the paper artifact it regenerates.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentReport {
     /// Paper artifact id, e.g. "fig4", "table2".
     pub id: String,
@@ -93,16 +92,52 @@ impl ExperimentReport {
         out
     }
 
-    /// Persist as pretty JSON under `dir/<id>.json`.
+    /// Persist as pretty JSON under `dir/<id>.json` (hand-rolled writer;
+    /// the workspace builds offline without serde).
     pub fn save_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(path)?;
-        f.write_all(
-            serde_json::to_string_pretty(self)
-                .expect("serialize")
-                .as_bytes(),
-        )
+        f.write_all(self.to_json_pretty().as_bytes())
+    }
+
+    /// Pretty-printed JSON rendering of the report.
+    pub fn to_json_pretty(&self) -> String {
+        let str_array = |items: &[String], indent: &str| -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let body: Vec<String> = items
+                .iter()
+                .map(|s| format!("{indent}  {}", json_escape(s)))
+                .collect();
+            format!("[\n{}\n{indent}]", body.join(",\n"))
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_escape(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_escape(&self.title)));
+        out.push_str(&format!("  \"headers\": {},\n", str_array(&self.headers, "  ")));
+        if self.rows.is_empty() {
+            out.push_str("  \"rows\": [],\n");
+        } else {
+            out.push_str("  \"rows\": [\n");
+            let rows: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\n      \"label\": {},\n      \"values\": {}\n    }}",
+                        json_escape(&r.label),
+                        str_array(&r.values, "      ")
+                    )
+                })
+                .collect();
+            out.push_str(&rows.join(",\n"));
+            out.push_str("\n  ],\n");
+        }
+        out.push_str(&format!("  \"notes\": {}\n", str_array(&self.notes, "  ")));
+        out.push('}');
+        out
     }
 
     /// Persist as CSV under `dir/<id>.csv` (plot-friendly: gnuplot,
@@ -134,6 +169,25 @@ impl ExperimentReport {
         }
         Ok(())
     }
+}
+
+/// Quote and escape a string as a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format seconds with ± std.

@@ -59,6 +59,8 @@ impl FaultSite {
 
 struct SiteState {
     phase: Phase,
+    /// Original fire budget (immutable; lets the plan be re-serialized).
+    budget: u64,
     remaining: AtomicU64,
     fired: AtomicU64,
 }
@@ -85,6 +87,7 @@ impl FaultPlan {
                 s.key,
                 SiteState {
                     phase: s.phase,
+                    budget: s.fires,
                     remaining: AtomicU64::new(s.fires),
                     fired: AtomicU64::new(0),
                 },
@@ -143,6 +146,22 @@ impl FaultPlan {
     /// Number of planned sites.
     pub fn planned(&self) -> usize {
         self.sites.len()
+    }
+
+    /// The planned sites with their *original* fire budgets, sorted by key
+    /// (deterministic order for failure reports and replay).
+    pub fn sites(&self) -> Vec<FaultSite> {
+        let mut v: Vec<FaultSite> = self
+            .sites
+            .iter()
+            .map(|(&key, s)| FaultSite {
+                key,
+                phase: s.phase,
+                fires: s.budget,
+            })
+            .collect();
+        v.sort_unstable_by_key(|s| s.key);
+        v
     }
 
     /// Total faults fired so far.

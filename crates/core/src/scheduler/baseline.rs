@@ -16,7 +16,7 @@ use crate::graph::{ComputeCtx, Key, TaskGraph};
 use crate::metrics::{RunMetrics, RunReport};
 use crate::task::{BaseDesc, Status};
 use ft_cmap::ShardedMap;
-use ft_steal::pool::{Pool, Scope};
+use ft_steal::pool::{Executor, Scope};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,19 +38,19 @@ impl BaselineScheduler {
         })
     }
 
-    /// Execute the task graph to completion on `pool`; returns run
+    /// Execute the task graph to completion on `exec`; returns run
     /// statistics. Panics if any compute returns a fault — the baseline
     /// scheduler, like the paper's, has no recovery path.
-    pub fn run(self: &Arc<Self>, pool: &Pool) -> RunReport {
+    pub fn run(self: &Arc<Self>, exec: &dyn Executor) -> RunReport {
         let start = Instant::now();
         let sink = self.graph.sink();
         self.insert_if_absent(sink);
         let sd = self.map.get(sink).expect("sink just inserted");
-        pool.run_until_complete(|scope| {
-            let this = Arc::clone(self);
-            let sd = Arc::clone(&sd);
-            scope.spawn(move |s| this.init_and_compute(s, sd));
-        });
+        let this = Arc::clone(self);
+        let root = Arc::clone(&sd);
+        exec.execute_job(Box::new(move |scope: &Scope<'_>| {
+            scope.spawn(move |s| this.init_and_compute(s, root));
+        }));
         let mut report = self.metrics.snapshot();
         report.sink_completed = self
             .map
@@ -171,7 +171,7 @@ impl BaselineScheduler {
 mod tests {
     use super::*;
     use crate::fault::Fault;
-    use ft_steal::pool::PoolConfig;
+    use ft_steal::pool::{Pool, PoolConfig};
     use parking_lot::Mutex;
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;

@@ -23,8 +23,8 @@ use crate::metrics::{RunMetrics, RunReport};
 use crate::task::{FtDesc, Status};
 use crate::trace::{Event, Trace};
 use ft_cmap::ShardedMap;
-use ft_steal::pool::{Pool, Scope};
-use std::sync::atomic::Ordering;
+use ft_steal::pool::{Executor, Scope};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +39,12 @@ pub struct FtScheduler {
     pub(super) plan: Arc<FaultPlan>,
     pub(super) metrics: RunMetrics,
     pub(super) trace: Option<Arc<Trace>>,
+    /// Mutation-testing switch: when set, `notify_once` ignores the bit
+    /// vector and decrements the join counter on every notification —
+    /// reintroducing exactly the duplicate-decrement bug Guarantee 3's bit
+    /// vector exists to prevent. Tests flip it to prove the trace oracle
+    /// catches a broken implementation. Never set in production paths.
+    pub(super) sabotage_notify: AtomicBool,
 }
 
 impl FtScheduler {
@@ -56,6 +62,7 @@ impl FtScheduler {
             plan,
             metrics: RunMetrics::new(),
             trace: None,
+            sabotage_notify: AtomicBool::new(false),
         })
     }
 
@@ -72,7 +79,19 @@ impl FtScheduler {
             plan,
             metrics: RunMetrics::new(),
             trace: Some(trace),
+            sabotage_notify: AtomicBool::new(false),
         })
+    }
+
+    /// Disable the Guarantee-3 bit-vector check (mutation testing only).
+    ///
+    /// With this set, duplicate notifications decrement the join counter
+    /// instead of being absorbed, so a task can become ready before all its
+    /// predecessors computed. The trace oracle must flag such a run as a
+    /// G3 violation; see `tests/det_campaigns.rs`.
+    #[doc(hidden)]
+    pub fn sabotage_notify_bitvec(&self) {
+        self.sabotage_notify.store(true, Ordering::Relaxed);
     }
 
     /// Record a trace event if tracing is enabled.
@@ -83,18 +102,21 @@ impl FtScheduler {
         }
     }
 
-    /// Execute the task graph to completion on `pool` despite any faults
+    /// Execute the task graph to completion on `exec` despite any faults
     /// the plan injects; returns run statistics.
-    pub fn run(self: &Arc<Self>, pool: &Pool) -> RunReport {
+    ///
+    /// Any [`Executor`] works: the multithreaded [`ft_steal::pool::Pool`]
+    /// (call sites pass `&pool` unchanged) or the deterministic
+    /// single-threaded `ft-det` pool for replayable schedule exploration.
+    pub fn run(self: &Arc<Self>, exec: &dyn Executor) -> RunReport {
         let start = Instant::now();
         let sink = self.graph.sink();
         self.insert_if_absent(sink);
         let (sd, life) = self.get_task(sink).expect("sink just inserted");
-        pool.run_until_complete(|scope| {
-            let this = Arc::clone(self);
-            let sd = Arc::clone(&sd);
+        let this = Arc::clone(self);
+        exec.execute_job(Box::new(move |scope: &Scope<'_>| {
             scope.spawn(move |s| this.init_and_compute(s, sd, sink, life));
-        });
+        }));
         let mut report = self.metrics.snapshot();
         report.sink_completed = self
             .map
@@ -226,10 +248,14 @@ impl FtScheduler {
         match attempt {
             Ok(true) => self.notify_once(s, a, key, pkey, life),
             Ok(false) => {}
-            Err(_) => {
+            Err(f) => {
                 // catch { RecoverTaskOnce(pkey, blife) }. A is *not*
                 // registered with B; B's recovery re-enqueues A via
                 // ReinitNotifyEntry (A's bit for B is still set).
+                self.emit(Event::FaultObserved {
+                    source: f.source,
+                    kind: f.kind,
+                });
                 self.recover_task_once(s, pkey, blife);
             }
         }
@@ -250,16 +276,30 @@ impl FtScheduler {
             let ind = a
                 .pred_index(pkey)
                 .ok_or_else(|| Fault::descriptor(key, life))?;
-            if a.bits.unset(ind) {
+            let sabotaged = self.sabotage_notify.load(Ordering::Relaxed);
+            if a.bits.unset(ind) || sabotaged {
                 self.metrics.notifications.fetch_add(1, Ordering::Relaxed);
+                self.emit(Event::Notified {
+                    key,
+                    life,
+                    pred: pkey,
+                });
                 let val = a.join.fetch_sub(1, Ordering::AcqRel) - 1;
-                debug_assert!(val >= 0, "join underflow on task {key} life {life}");
+                debug_assert!(
+                    val >= 0 || sabotaged,
+                    "join underflow on task {key} life {life}"
+                );
                 Ok(val == 0)
             } else {
                 // Duplicate notification absorbed (Guarantee 3).
                 self.metrics
                     .duplicate_notifications
                     .fetch_add(1, Ordering::Relaxed);
+                self.emit(Event::DuplicateNotify {
+                    key,
+                    life,
+                    pred: pkey,
+                });
                 Ok(false)
             }
         })();
@@ -267,7 +307,13 @@ impl FtScheduler {
         match attempt {
             Ok(true) => self.compute_and_notify(s, a, key, life),
             Ok(false) => {}
-            Err(_) => self.recover_task_once(s, key, life),
+            Err(f) => {
+                self.emit(Event::FaultObserved {
+                    source: f.source,
+                    kind: f.kind,
+                });
+                self.recover_task_once(s, key, life);
+            }
         }
     }
 
@@ -385,7 +431,7 @@ impl FtScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ft_steal::pool::PoolConfig;
+    use ft_steal::pool::{Pool, PoolConfig};
     use parking_lot::Mutex;
     use std::collections::HashSet;
 

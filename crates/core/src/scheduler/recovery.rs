@@ -93,11 +93,19 @@ impl FtScheduler {
                     s.spawn(move |s| this.init_and_compute(s, t2, key, life));
                     return;
                 }
-                Err(_) => {
+                Err(f) => {
                     // "if (!IsRecovering(key, life)) success = false":
                     // we claim the new incarnation's failure and retry;
                     // otherwise someone else owns it and we are done.
+                    self.emit(Event::FaultObserved {
+                        source: f.source,
+                        kind: f.kind,
+                    });
                     if self.is_recovering(key, life) {
+                        self.metrics
+                            .recoveries_suppressed
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.emit(Event::RecoverySuppressed { key, life });
                         return;
                     }
                 }
@@ -139,6 +147,10 @@ impl FtScheduler {
 
         match attempt {
             Err(f) if f.source == skey => {
+                self.emit(Event::FaultObserved {
+                    source: f.source,
+                    kind: f.kind,
+                });
                 self.recover_task_once(s, skey, slife);
                 Ok(())
             }
@@ -160,7 +172,13 @@ impl FtScheduler {
         })();
         match attempt {
             Ok(()) => self.init_and_compute(s, a, key, life),
-            Err(_) => self.recover_task_once(s, key, life),
+            Err(f) => {
+                self.emit(Event::FaultObserved {
+                    source: f.source,
+                    kind: f.kind,
+                });
+                self.recover_task_once(s, key, life);
+            }
         }
     }
 }

@@ -16,7 +16,10 @@ use crate::fault::FaultKind;
 use crate::graph::Key;
 use crate::inject::Phase;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+pub mod oracle;
 
 /// One scheduler event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +42,27 @@ pub enum Event {
         key: Key,
         /// Incarnation.
         life: u64,
+    },
+    /// A notification was delivered: the bit for `pred` was set, so the
+    /// join counter was decremented (Guarantee 3's "exactly once" side).
+    Notified {
+        /// Task being notified.
+        key: Key,
+        /// Incarnation being notified.
+        life: u64,
+        /// Predecessor the notification came from (`key` itself for the
+        /// self-edge consumed at the end of `InitAndCompute`).
+        pred: Key,
+    },
+    /// A duplicate notification was absorbed: the bit for `pred` was
+    /// already clear, so the join counter was *not* decremented.
+    DuplicateNotify {
+        /// Task being notified.
+        key: Key,
+        /// Incarnation being notified.
+        life: u64,
+        /// Predecessor the duplicate came from.
+        pred: Key,
     },
     /// A fault was injected by the plan.
     Injected {
@@ -77,9 +101,14 @@ pub enum Event {
     },
 }
 
-/// A recorded event with a monotonic timestamp (ns since trace creation).
+/// A recorded event with a global sequence number and a timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedEvent {
+    /// Global emission order (0-based). Unlike `t_ns`, sequence numbers
+    /// are unique, so sorting by `seq` gives a stable total order even
+    /// when two events land in the same nanosecond (which is the common
+    /// case under the deterministic executor).
+    pub seq: u64,
     /// Nanoseconds since the trace was created.
     pub t_ns: u64,
     /// The event.
@@ -91,6 +120,7 @@ const SHARDS: usize = 16;
 /// An append-only, sharded event log.
 pub struct Trace {
     start: Instant,
+    seq: AtomicU64,
     shards: Vec<Mutex<Vec<TimedEvent>>>,
 }
 
@@ -105,30 +135,32 @@ impl Trace {
     pub fn new() -> Self {
         Trace {
             start: Instant::now(),
+            seq: AtomicU64::new(0),
             shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 
-    /// Record an event (thread-sharded; ordering across shards is by
-    /// timestamp).
+    /// Record an event (thread-sharded; ordering across shards is by the
+    /// global sequence number assigned here).
     pub fn record(&self, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         let t_ns = self.start.elapsed().as_nanos() as u64;
         // Cheap shard selection by thread identity.
         let tid = std::thread::current().id();
         let mut hasher_input = format!("{tid:?}").len();
         hasher_input = hasher_input.wrapping_mul(31).wrapping_add(t_ns as usize);
         let shard = hasher_input % SHARDS;
-        self.shards[shard].lock().push(TimedEvent { t_ns, event });
+        self.shards[shard].lock().push(TimedEvent { seq, t_ns, event });
     }
 
-    /// All events, globally ordered by timestamp.
+    /// All events, in the total order of emission (by sequence number).
     pub fn events(&self) -> Vec<TimedEvent> {
         let mut all: Vec<TimedEvent> = self
             .shards
             .iter()
             .flat_map(|s| s.lock().iter().copied().collect::<Vec<_>>())
             .collect();
-        all.sort_by_key(|e| e.t_ns);
+        all.sort_by_key(|e| e.seq);
         all
     }
 
@@ -142,7 +174,7 @@ impl Trace {
         self.len() == 0
     }
 
-    /// Events concerning one task key, in timestamp order.
+    /// Events concerning one task key, in emission order.
     pub fn events_for(&self, key: Key) -> Vec<TimedEvent> {
         self.events()
             .into_iter()
@@ -150,6 +182,8 @@ impl Trace {
                 Event::Inserted { key: k }
                 | Event::Computed { key: k, .. }
                 | Event::Completed { key: k, .. }
+                | Event::Notified { key: k, .. }
+                | Event::DuplicateNotify { key: k, .. }
                 | Event::Injected { key: k, .. }
                 | Event::RecoveryStarted { key: k, .. }
                 | Event::RecoverySuppressed { key: k, .. }
@@ -163,7 +197,7 @@ impl Trace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in self.events() {
-            out.push_str(&format!("{:>12}ns  {:?}\n", e.t_ns, e.event));
+            out.push_str(&format!("#{:<6} {:>12}ns  {:?}\n", e.seq, e.t_ns, e.event));
         }
         out
     }

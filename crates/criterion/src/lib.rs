@@ -1,0 +1,238 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The workspace builds with no network and no crates.io mirror, so the
+//! external `criterion` dependency is replaced by this in-repo shim
+//! (pointed at via a path dependency in the workspace `Cargo.toml`). The
+//! bench files compile and run unchanged; measurement is a plain
+//! wall-clock sampler (median/mean over `sample_size` samples) with none
+//! of criterion's statistics, HTML reports, or change detection.
+//!
+//! When invoked under `cargo test` (criterion's `--test` mode), each
+//! benchmark body runs exactly once as a smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export location matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Top-level handle handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, 10, Duration::from_secs(3), Duration::from_secs(1), &mut f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &id.label,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmark a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.measurement_time, self.warm_up_time, &mut f);
+        self
+    }
+
+    /// Close the group (printing is incremental; nothing left to do).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget: if test_mode() { None } else { Some(measurement_time) },
+        warm_up: if test_mode() { Duration::ZERO } else { warm_up_time },
+        sample_size: if test_mode() { 1 } else { sample_size },
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{label}: no samples (bencher.iter never called)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    eprintln!(
+        "{label}: median {median:?}  mean {mean:?}  ({} samples)",
+        b.samples.len()
+    );
+}
+
+/// Timing handle passed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Option<Duration>,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting up to `sample_size` samples within the
+    /// measurement budget (once in `--test` mode).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if let Some(budget) = self.budget {
+                if started.elapsed() > budget {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Register bench functions under a group name, mirroring criterion's
+/// macro of the same name (simple `name, fn…` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("id", 7), &5u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline shim for the `loom` crate.
+//!
+//! Real loom exhaustively model-checks every interleaving of a bounded
+//! concurrent program. It cannot be vendored here (the workspace builds
+//! with no network and no crates.io mirror), so this shim keeps the same
+//! *API* — `loom::model`, `loom::thread`, `loom::sync::atomic` — but
+//! implements exploration as **seeded stress testing**: every atomic
+//! operation may inject an OS-level `yield_now`, driven by a per-thread
+//! RNG reseeded for each of the `model`'s iterations. Each iteration
+//! therefore perturbs the schedule differently, and a failure reproduces
+//! from `LOOM_SEED`.
+//!
+//! This is strictly weaker than loom's exhaustive search (it samples
+//! interleavings instead of enumerating them, and models only `SeqCst`-ish
+//! visibility, not weak-memory reorderings), but it runs the *same test
+//! bodies* unchanged, so swapping in real loom later is a Cargo.toml-only
+//! change. Iteration count: `LOOM_MAX_ITERS` (default 300).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+static MODEL_SEED: AtomicU64 = AtomicU64::new(0);
+static THREAD_SALT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static YIELD_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn rng_next() -> u64 {
+    YIELD_RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            // First use on this thread within some iteration: derive from
+            // the model seed and a per-thread salt.
+            let salt = THREAD_SALT.fetch_add(1, StdOrdering::Relaxed);
+            x = MODEL_SEED
+                .load(StdOrdering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        x
+    })
+}
+
+/// Called from every shimmed atomic op: sometimes yields the OS slice so
+/// different iterations see different interleavings.
+fn maybe_yield() {
+    let r = rng_next();
+    if r % 13 == 0 {
+        std::thread::yield_now();
+    } else if r % 29 == 0 {
+        std::hint::spin_loop();
+    }
+}
+
+/// Run `f` under many differently-perturbed schedules.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let base: u64 = std::env::var("LOOM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5EED_CAFE);
+    for i in 0..iters {
+        let seed = base.wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        MODEL_SEED.store(seed, StdOrdering::Relaxed);
+        YIELD_RNG.with(|c| c.set(seed | 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = result {
+            eprintln!("[loom shim] model failed at iteration {i} (LOOM_SEED={base}, derived seed {seed})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Thread spawning that reseeds the child's yield RNG.
+pub mod thread {
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// Spawn a thread whose schedule perturbation derives from the current
+    /// model iteration.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::YIELD_RNG.with(|c| c.set(0)); // lazily reseeded on first op
+            f()
+        })
+    }
+}
+
+/// Synchronization primitives with yield injection.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex};
+
+    /// Atomics that may yield around every operation.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        /// A fence with schedule perturbation.
+        pub fn fence(order: Ordering) {
+            super::super::maybe_yield();
+            std::sync::atomic::fence(order);
+            super::super::maybe_yield();
+        }
+
+        macro_rules! shim_int_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Yield-injecting wrapper over the std atomic.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// New atomic with the given value.
+                    pub const fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Load with perturbation.
+                    pub fn load(&self, order: Ordering) -> $int {
+                        super::super::maybe_yield();
+                        let v = self.0.load(order);
+                        super::super::maybe_yield();
+                        v
+                    }
+
+                    /// Store with perturbation.
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        super::super::maybe_yield();
+                        self.0.store(v, order);
+                        super::super::maybe_yield();
+                    }
+
+                    /// Swap with perturbation.
+                    pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                        super::super::maybe_yield();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Compare-exchange with perturbation.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        super::super::maybe_yield();
+                        let r = self.0.compare_exchange(current, new, success, failure);
+                        super::super::maybe_yield();
+                        r
+                    }
+
+                    /// Weak compare-exchange with perturbation.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Fetch-add with perturbation.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        super::super::maybe_yield();
+                        let r = self.0.fetch_add(v, order);
+                        super::super::maybe_yield();
+                        r
+                    }
+
+                    /// Fetch-sub with perturbation.
+                    pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                        super::super::maybe_yield();
+                        let r = self.0.fetch_sub(v, order);
+                        super::super::maybe_yield();
+                        r
+                    }
+
+                    /// Fetch-or with perturbation.
+                    pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
+                        super::super::maybe_yield();
+                        self.0.fetch_or(v, order)
+                    }
+
+                    /// Fetch-and with perturbation.
+                    pub fn fetch_and(&self, v: $int, order: Ordering) -> $int {
+                        super::super::maybe_yield();
+                        self.0.fetch_and(v, order)
+                    }
+                }
+            };
+        }
+
+        shim_int_atomic!(AtomicIsize, std::sync::atomic::AtomicIsize, isize);
+        shim_int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        shim_int_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+        shim_int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Yield-injecting wrapper over `std::sync::atomic::AtomicBool`.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// New atomic with the given value.
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            /// Load with perturbation.
+            pub fn load(&self, order: Ordering) -> bool {
+                super::super::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Store with perturbation.
+            pub fn store(&self, v: bool, order: Ordering) {
+                super::super::maybe_yield();
+                self.0.store(v, order);
+                super::super::maybe_yield();
+            }
+
+            /// Swap with perturbation.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                super::super::maybe_yield();
+                self.0.swap(v, order)
+            }
+        }
+
+        /// Yield-injecting wrapper over `std::sync::atomic::AtomicPtr`.
+        #[derive(Debug)]
+        pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+        impl<T> AtomicPtr<T> {
+            /// New atomic holding `p`.
+            pub const fn new(p: *mut T) -> Self {
+                Self(std::sync::atomic::AtomicPtr::new(p))
+            }
+
+            /// Load with perturbation.
+            pub fn load(&self, order: Ordering) -> *mut T {
+                super::super::maybe_yield();
+                self.0.load(order)
+            }
+
+            /// Store with perturbation.
+            pub fn store(&self, p: *mut T, order: Ordering) {
+                super::super::maybe_yield();
+                self.0.store(p, order);
+                super::super::maybe_yield();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicIsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_and_atomics_count() {
+        std::env::set_var("LOOM_MAX_ITERS", "5");
+        super::model(|| {
+            let a = Arc::new(AtomicIsize::new(0));
+            let a2 = Arc::clone(&a);
+            let h = super::thread::spawn(move || {
+                for _ in 0..100 {
+                    a2.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for _ in 0..100 {
+                a.fetch_add(1, Ordering::SeqCst);
+            }
+            h.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 200);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn model_propagates_failures() {
+        std::env::set_var("LOOM_MAX_ITERS", "2");
+        super::model(|| panic!("expected"));
+    }
+}

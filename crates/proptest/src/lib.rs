@@ -1,0 +1,200 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The workspace builds with no network and no crates.io mirror, so the
+//! external `proptest` dependency is replaced by this in-repo shim
+//! (pointed at via a path dependency in the workspace `Cargo.toml`). It
+//! keeps the *shape* of proptest — `proptest!`, strategies, `prop_oneof!`,
+//! `prop_assert*!`, `ProptestConfig`, regression-file persistence — while
+//! implementing generation as plain seeded random sampling.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports its replay seed instead; the
+//!   seed is appended to the sibling `.proptest-regressions` file and
+//!   replayed first on subsequent runs.
+//! - **Deterministic seeds.** Cases derive from a hash of the test's
+//!   module/name and the case index, overridable with `PROPTEST_SEED`.
+//!   Same binary → same cases, which is what CI wants.
+//! - Regression entries written by real proptest (whose `cc` payload
+//!   encodes its own RNG state) are replayed by hashing the hex payload
+//!   into a seed — a deterministic extra case, not a faithful replay.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec(...)` etc., mirroring proptest's `prop` path.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size`. Duplicate draws are retried a bounded number of times, so
+    /// the resulting set may be smaller than the draw when the element
+    /// domain is nearly exhausted (matching proptest's best-effort
+    /// behaviour for small domains).
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate ordered sets of values from `element` with size in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = rng.usize_in(self.size.clone());
+            let mut set = BTreeSet::new();
+            let mut misses = 0;
+            while set.len() < want && misses < 64 {
+                if !set.insert(self.element.sample(rng)) {
+                    misses += 1;
+                }
+            }
+            set
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fail the current proptest case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("[proptest] {}", format!($($fmt)*));
+        }
+    };
+}
+
+/// Fail the current proptest case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Fail the current proptest case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{:?} == {:?}", l, r);
+    }};
+}
+
+/// Weighted union of strategies producing the same value type.
+///
+/// Arms are `strategy` or `weight => strategy`, as in real proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_test(x in 0u64..10, ops in prop::collection::vec(op(), 0..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run_cases(
+                ::core::concat!(::core::module_path!(), "::", ::core::stringify!($name)),
+                ::core::file!(),
+                &__config,
+                &|__rng: &mut $crate::strategy::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}

@@ -1,0 +1,179 @@
+//! Case runner: seed derivation, regression-file persistence, replay.
+
+use crate::strategy::TestRng;
+use std::io::Write;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Runner configuration (the subset of real proptest's knobs this
+/// workspace uses; construct with struct-update from `default()`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Unused; kept so `..ProptestConfig::default()` stays idiomatic if a
+    /// test ever sets it.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Locate the source file at runtime. `file!()` paths are relative to the
+/// directory rustc was invoked from (the workspace root), while `cargo
+/// test` may run with the member crate as cwd — probe a few ancestors.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let direct = PathBuf::from(source_file);
+    let candidates = [
+        direct.clone(),
+        PathBuf::from("..").join(&direct),
+        PathBuf::from("../..").join(&direct),
+        PathBuf::from("../../..").join(&direct),
+    ];
+    let found = candidates.into_iter().find(|c| c.is_file())?;
+    Some(found.with_extension("proptest-regressions"))
+}
+
+/// Parse persisted `cc <payload>` lines into replay seeds. Payloads we
+/// wrote are 16 hex chars (a literal u64 seed); foreign payloads (real
+/// proptest's RNG-state blobs) are hashed into a seed so they still
+/// contribute a deterministic extra case.
+fn load_regression_seeds(path: &PathBuf) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let payload: &str = rest.split_whitespace().next().unwrap_or("");
+        let seed = if payload.len() == 16 {
+            u64::from_str_radix(payload, 16).unwrap_or_else(|_| fnv1a(payload.as_bytes()))
+        } else {
+            fnv1a(payload.as_bytes())
+        };
+        if !seeds.contains(&seed) {
+            seeds.push(seed);
+        }
+    }
+    seeds
+}
+
+fn persist_failure(path: &PathBuf, seed: u64, test_path: &str) {
+    let entry = format!("cc {seed:016x}");
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if existing.lines().any(|l| l.trim().starts_with(&entry)) {
+            return;
+        }
+    }
+    let header_needed = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if header_needed {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let _ = writeln!(f, "{entry} # replay seed for {test_path} (no shrinking)");
+}
+
+/// Run one proptest-defined test: replay persisted regression seeds, then
+/// `config.cases` fresh deterministic cases. On failure, persist the seed,
+/// report it, and re-raise the panic.
+pub fn run_cases(test_path: &str, source_file: &str, config: &ProptestConfig, f: &dyn Fn(&mut TestRng)) {
+    let reg_path = regression_path(source_file);
+    let mut seeds: Vec<(u64, bool)> = Vec::new();
+    if let Some(p) = &reg_path {
+        seeds.extend(load_regression_seeds(p).into_iter().map(|s| (s, true)));
+    }
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse::<u64>().unwrap_or_else(|_| fnv1a(v.as_bytes())),
+        Err(_) => fnv1a(test_path.as_bytes()),
+    };
+    for i in 0..config.cases as u64 {
+        seeds.push((base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), false));
+    }
+
+    for (seed, from_regression) in seeds {
+        let mut rng = TestRng::new(seed);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            if !from_regression {
+                if let Some(p) = &reg_path {
+                    persist_failure(p, seed, test_path);
+                }
+            }
+            eprintln!(
+                "[proptest shim] {test_path} failed with seed {seed:016x}{}",
+                if from_regression {
+                    " (persisted regression)"
+                } else {
+                    " (persisted to the .proptest-regressions file)"
+                }
+            );
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cases() {
+        let c = ProptestConfig {
+            cases: 24,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(c.cases, 24);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+
+    #[test]
+    fn macro_end_to_end() {
+        // Use the public macro from inside the crate to prove the plumbing.
+        crate::proptest! {
+            #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+            fn inner(x in 0u64..100, v in crate::collection::vec(0u8..4, 0..10)) {
+                crate::prop_assert!(x < 100);
+                crate::prop_assert!(v.len() < 10);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

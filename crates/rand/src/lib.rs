@@ -1,0 +1,187 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The workspace builds with no network and no crates.io mirror, so the
+//! external `rand` dependency is replaced by this in-repo shim (pointed at
+//! via a path dependency in the workspace `Cargo.toml`). It covers exactly
+//! the API surface the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `RngExt::random_range` over integer and
+//! float ranges, and `seq::SliceRandom::shuffle`.
+//!
+//! The generator is a splitmix64-seeded xorshift64*, which is plenty for
+//! test-input generation and fault-plan sampling; it makes no
+//! cryptographic claims (neither does the code using it).
+
+use std::ops::Range;
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source: a stream of 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard test RNG (xorshift64* seeded via splitmix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        let mut state = splitmix64(&mut s);
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { state }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Values that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[lo, hi)` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_range(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Convenience sampling methods, auto-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform draw from the half-open `range`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice extension providing an in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffle the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u8 = rng.random_range(0..26);
+            assert!(v < 26);
+            let w: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: f64 = rng.random_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left 50 elements in order");
+    }
+}

@@ -17,6 +17,9 @@
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
+#[cfg(loom)]
+use loom::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;
 

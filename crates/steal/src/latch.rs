@@ -10,6 +10,9 @@
 //!   it to detect quiescence of a `run_until_complete` scope.
 
 use parking_lot::{Condvar, Mutex};
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 
 /// One-shot boolean latch.

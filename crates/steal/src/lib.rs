@@ -53,4 +53,4 @@ pub mod pool;
 pub mod rng;
 
 pub use latch::{CountLatch, Flag};
-pub use pool::{Pool, PoolConfig, Scope};
+pub use pool::{Executor, Job, Pool, PoolConfig, Scope, SpawnHost};

@@ -30,7 +30,36 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A unit of work. Receives a [`Scope`] so it can spawn more work.
-type Job = Box<dyn FnOnce(&Scope<'_>) + Send>;
+pub type Job = Box<dyn FnOnce(&Scope<'_>) + Send>;
+
+/// A place jobs can be spawned into. [`Scope`] is generic over this so the
+/// same scheduler code runs on the multithreaded [`Pool`] and on
+/// alternative executors (e.g. a deterministic single-threaded pool for
+/// schedule exploration).
+pub trait SpawnHost {
+    /// Enqueue a fire-and-forget job.
+    fn spawn_job(&self, job: Job);
+
+    /// Number of workers executing jobs.
+    fn num_threads(&self) -> usize;
+
+    /// Index of the calling worker, if the current thread is one.
+    fn worker_index(&self) -> Option<usize>;
+}
+
+/// An executor that can run a root job to quiescence: every transitively
+/// spawned job finishes before `execute_job` returns, and the first job
+/// panic is re-raised on the caller.
+///
+/// `&Pool` coerces to `&dyn Executor`, so scheduler entry points take
+/// `&dyn Executor` without changing existing call sites.
+pub trait Executor {
+    /// Run `root` (which may spawn more work) and block until quiescent.
+    fn execute_job(&self, root: Job);
+
+    /// Number of workers executing jobs.
+    fn num_threads(&self) -> usize;
+}
 
 /// Configuration for a [`Pool`].
 #[derive(Debug, Clone)]
@@ -82,13 +111,19 @@ struct PoolState {
     steal_rounds: u32,
 }
 
-/// Handle for spawning work into a pool from inside a job or from the
+/// Handle for spawning work into an executor from inside a job or from the
 /// submitting thread.
 pub struct Scope<'a> {
-    state: &'a PoolState,
+    host: &'a dyn SpawnHost,
 }
 
 impl<'a> Scope<'a> {
+    /// Build a scope over any spawn host. Executors call this; jobs only
+    /// ever receive a ready-made `&Scope`.
+    pub fn for_host(host: &'a dyn SpawnHost) -> Self {
+        Scope { host }
+    }
+
     /// Spawn a fire-and-forget job.
     ///
     /// From a worker thread of this pool the job lands on the worker's own
@@ -97,17 +132,17 @@ impl<'a> Scope<'a> {
     where
         F: FnOnce(&Scope<'_>) + Send + 'static,
     {
-        self.state.spawn_job(Box::new(f));
+        self.host.spawn_job(Box::new(f));
     }
 
-    /// Number of worker threads in the pool this scope belongs to.
+    /// Number of worker threads in the executor this scope belongs to.
     pub fn num_threads(&self) -> usize {
-        self.state.threads
+        self.host.num_threads()
     }
 
     /// Index of the current worker thread, if the calling thread is one.
     pub fn worker_index(&self) -> Option<usize> {
-        current_worker_index(self.state)
+        self.host.worker_index()
     }
 }
 
@@ -176,6 +211,21 @@ impl PoolState {
     }
 }
 
+impl SpawnHost for PoolState {
+    fn spawn_job(&self, job: Job) {
+        PoolState::spawn_job(self, job);
+    }
+
+    fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker_index(&self) -> Option<usize> {
+        current_worker_index(self)
+    }
+}
+
+
 /// A persistent work-stealing pool.
 pub struct Pool {
     state: Arc<PoolState>,
@@ -238,7 +288,7 @@ impl Pool {
     where
         F: FnOnce(&Scope<'_>),
     {
-        let scope = Scope { state: &self.state };
+        let scope = Scope::for_host(&*self.state);
         // Sentinel item: guarantees the latch "starts" even if `f` spawns
         // nothing, and holds the count above zero while `f` is still
         // submitting.
@@ -257,7 +307,7 @@ impl Pool {
     where
         F: FnOnce(&Scope<'_>) + Send + 'static,
     {
-        let scope = Scope { state: &self.state };
+        let scope = Scope::for_host(&*self.state);
         scope.spawn(f);
     }
 
@@ -283,6 +333,16 @@ impl Pool {
     }
 }
 
+impl Executor for Pool {
+    fn execute_job(&self, root: Job) {
+        self.run_until_complete(|scope| root(scope));
+    }
+
+    fn num_threads(&self) -> usize {
+        self.state.threads
+    }
+}
+
 impl Drop for Pool {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::Release);
@@ -305,7 +365,7 @@ fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u6
     };
     LOCAL.with(|l| l.set(&ctx as *const LocalCtx));
     let mut rng = XorShift64Star::new(seed);
-    let scope = Scope { state: &state };
+    let scope = Scope::for_host(&*state);
     let metrics = &state.metrics[index];
 
     loop {
@@ -558,7 +618,8 @@ mod tests {
                     for k in 0..(i % 17 + 1) * 1000 {
                         acc = acc.wrapping_add(k).rotate_left(3);
                     }
-                    t.fetch_add(acc.max(1).min(1), Ordering::Relaxed);
+                    std::hint::black_box(acc);
+                    t.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });

@@ -1,0 +1,322 @@
+//! Deterministic schedule-exploration campaigns.
+//!
+//! Every test here runs the *unmodified* FT scheduler on the seeded
+//! single-threaded [`DetPool`], so each `(graph, fault plan, seed)` triple
+//! is one fully replayable interleaving. Recorded traces are validated
+//! against the Section-IV guarantee oracle in `Strict` mode (exact
+//! counting applies on a deterministic trace), and failing runs dump a
+//! JSON report with the seed and fault plan under
+//! `target/oracle-failures/`.
+
+use ft_det::DetPool;
+use ft_integration::graphs::{Chain, Grid, ValueDag};
+use ft_integration::{assert_oracle_clean, det_traced_run, oracle_violations};
+use nabbit_ft::graph::{Key, TaskGraph};
+use nabbit_ft::inject::{FaultPlan, FaultSite, Phase};
+use nabbit_ft::scheduler::FtScheduler;
+use nabbit_ft::seq;
+use nabbit_ft::trace::oracle::{check_result_equivalence, OracleMode};
+use nabbit_ft::trace::{Event, Trace};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Values from a sequential fault-free execution (the Theorem 1
+/// reference).
+fn sequential_reference(widths: &[usize], edges_seed: u64) -> HashMap<Key, u64> {
+    let dag = ValueDag::generate(widths, edges_seed);
+    seq::run(&dag).unwrap();
+    dag.all_keys()
+        .into_iter()
+        .map(|k| (k, dag.value_of(k).unwrap()))
+        .collect()
+}
+
+fn phase_of(round: u64) -> Phase {
+    match round % 3 {
+        0 => Phase::BeforeCompute,
+        1 => Phase::AfterCompute,
+        _ => Phase::AfterNotify,
+    }
+}
+
+/// The headline campaign: ≥ 200 seeded (schedule × fault-plan) runs, each
+/// oracle-checked and result-checked against the sequential reference.
+#[test]
+fn two_hundred_seeded_oracle_checked_runs() {
+    const SHAPES: &[&[usize]] = &[
+        &[1],
+        &[3, 3, 3],
+        &[1, 4, 1, 4],
+        &[5, 2, 5],
+        &[2, 2, 2, 2, 2],
+        &[6, 6],
+        &[1, 1, 1, 1, 1, 1],
+    ];
+    const ROUNDS_PER_SHAPE: u64 = 30;
+
+    let mut runs = 0u64;
+    for (si, shape) in SHAPES.iter().enumerate() {
+        let edges_seed = 0x5EED_0001 + si as u64 * 977;
+        let reference = sequential_reference(shape, edges_seed);
+        for round in 0..ROUNDS_PER_SHAPE {
+            let dag = Arc::new(ValueDag::generate(shape, edges_seed));
+            let keys = dag.all_keys();
+            let phase = phase_of(round);
+            // 0%, 25%, 50%, 75% of the tasks fail this round.
+            let count = (round as usize % 4) * keys.len() / 4;
+            let plan_seed = round.wrapping_mul(1013) + si as u64;
+            let plan = Arc::new(FaultPlan::sample(&keys, count, phase, plan_seed));
+            let schedule_seed = ((si as u64) << 32) | round;
+            let label = format!("campaign-shape{si}-round{round}-{phase:?}");
+
+            let (_, trace, report) = det_traced_run(
+                Arc::clone(&dag) as Arc<dyn TaskGraph>,
+                Arc::clone(&plan),
+                schedule_seed,
+            );
+            assert!(report.sink_completed, "{label}: sink must complete");
+            let dag2 = Arc::clone(&dag);
+            let extra = check_result_equivalence(
+                &keys,
+                |k| dag2.value_of(k),
+                |k| reference.get(&k).copied(),
+            );
+            assert_oracle_clean(
+                &label,
+                schedule_seed,
+                &plan,
+                dag.as_ref(),
+                &trace,
+                &report,
+                OracleMode::Strict,
+                extra,
+            );
+            runs += 1;
+        }
+    }
+    assert!(runs >= 200, "campaign must cover >= 200 runs, got {runs}");
+}
+
+/// The whole point of the deterministic pool: the same (graph, fault
+/// plan, seed) triple replays as the identical event sequence, and
+/// different seeds genuinely explore different interleavings.
+#[test]
+fn same_triple_replays_identically_and_seeds_differ() {
+    let shape: &[usize] = &[3, 3, 3];
+    let run_events = |schedule_seed: u64| -> Vec<Event> {
+        let dag = Arc::new(ValueDag::generate(shape, 42));
+        let keys = dag.all_keys();
+        let plan = Arc::new(FaultPlan::sample(&keys, 3, Phase::AfterCompute, 7));
+        let (_, trace, report) = det_traced_run(
+            Arc::clone(&dag) as Arc<dyn TaskGraph>,
+            plan,
+            schedule_seed,
+        );
+        assert!(report.sink_completed);
+        trace.events().into_iter().map(|te| te.event).collect()
+    };
+
+    assert_eq!(
+        run_events(123),
+        run_events(123),
+        "same (graph, plan, seed) must replay the identical trace"
+    );
+
+    let mut distinct: Vec<Vec<Event>> = Vec::new();
+    for seed in 0..8 {
+        let evs = run_events(seed);
+        if !distinct.contains(&evs) {
+            distinct.push(evs);
+        }
+    }
+    assert!(
+        distinct.len() >= 2,
+        "8 seeds explored only {} distinct interleavings",
+        distinct.len()
+    );
+}
+
+/// Mutation test (acceptance criterion): deliberately break the notify
+/// bit vector — duplicate notifications decrement the join counter, the
+/// classic bug Guarantee 3 exists to prevent — and verify the oracle
+/// flags the resulting traces as G3 violations. The same campaign with
+/// the bit vector intact must be clean, so the detection is the oracle's
+/// doing, not noise.
+#[test]
+fn broken_notify_bitvec_is_caught_by_oracle() {
+    // Before-compute faults on the multi-predecessor tasks of a 3×3 grid:
+    // the failed task's old and new incarnations both register with their
+    // predecessors, so many schedules deliver duplicate notifications.
+    let sites = || {
+        [4, 5, 7, 8].map(|k: Key| FaultSite::once(k, Phase::BeforeCompute))
+    };
+    const SEEDS: u64 = 96;
+
+    let mut caught = 0u64;
+    for seed in 0..SEEDS {
+        let g = Arc::new(Grid { n: 3 });
+        let plan = Arc::new(FaultPlan::new(sites()));
+        let trace = Arc::new(Trace::new());
+        let sched = FtScheduler::with_plan_traced(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            Arc::clone(&trace),
+        );
+        sched.sabotage_notify_bitvec();
+        let report = sched.run(&DetPool::new(seed));
+        let violations = oracle_violations(g.as_ref(), &trace, &report, OracleMode::Strict);
+        if violations.iter().any(|v| v.guarantee == "G3") {
+            caught += 1;
+        }
+    }
+    assert!(
+        caught > 0,
+        "sabotaged bit vector produced no G3 violation in {SEEDS} seeds — \
+         the oracle would miss a broken implementation"
+    );
+
+    // Control: the intact scheduler is clean on every one of those seeds.
+    for seed in 0..SEEDS {
+        let g = Arc::new(Grid { n: 3 });
+        let plan = Arc::new(FaultPlan::new(sites()));
+        let (_, trace, report) = det_traced_run(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            seed,
+        );
+        assert!(report.sink_completed);
+        assert_oracle_clean(
+            "mutation-control-grid3",
+            seed,
+            &plan,
+            g.as_ref(),
+            &trace,
+            &report,
+            OracleMode::Strict,
+            Vec::new(),
+        );
+    }
+}
+
+/// Guarantee 6 at the integration level: sites with `fires = 3` fail the
+/// original incarnation and its first two recoveries; every incarnation's
+/// failure is recovered with a strictly increasing life number.
+#[test]
+fn multi_fire_faults_recursively_recovered_under_many_schedules() {
+    const FAILED: [Key; 3] = [5, 17, 29];
+    for seed in 0..24u64 {
+        let g = Arc::new(Chain { len: 40 });
+        let plan = Arc::new(FaultPlan::new(FAILED.map(|k| FaultSite {
+            key: k,
+            phase: Phase::AfterCompute,
+            fires: 3,
+        })));
+        let (_, trace, report) = det_traced_run(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            seed,
+        );
+        assert!(report.sink_completed, "seed {seed}");
+        assert_eq!(report.injected, 9, "seed {seed}");
+        assert_eq!(
+            report.re_executions, 9,
+            "seed {seed}: three re-executions per failed task"
+        );
+        assert_eq!(
+            report.recoveries, 9,
+            "seed {seed}: one recovery per incarnation failure"
+        );
+        for key in FAILED {
+            let lives: Vec<u64> = trace
+                .events_for(key)
+                .iter()
+                .filter_map(|te| match te.event {
+                    Event::RecoveryStarted { new_life, .. } => Some(new_life),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                lives,
+                vec![2, 3, 4],
+                "seed {seed}: task {key} must be recovered once per incarnation"
+            );
+        }
+        assert_oracle_clean(
+            "multi-fire-chain40",
+            seed,
+            &plan,
+            g.as_ref(),
+            &trace,
+            &report,
+            OracleMode::Strict,
+            Vec::new(),
+        );
+    }
+}
+
+/// An after-notify fault is only observable through a *later consumer*
+/// that still needs the task's data or descriptor (Section VI). Depending
+/// on the schedule the consumer trips over either the poisoned descriptor
+/// (at registration, recovery only) or the poisoned *data block* (at
+/// compute, recovery + ResetNode); across 24 seeds the data path must
+/// occur, and the final values always match the sequential reference.
+#[test]
+fn after_notify_fault_observed_through_later_consumer() {
+    let shape: &[usize] = &[1, 2, 2];
+    let reference = sequential_reference(shape, 7);
+    let mut data_path_runs = 0u64;
+    for seed in 0..24u64 {
+        let dag = Arc::new(ValueDag::generate(shape, 7));
+        let keys = dag.all_keys();
+        let plan = Arc::new(FaultPlan::single(0, Phase::AfterNotify));
+        let (_, trace, report) = det_traced_run(
+            Arc::clone(&dag) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            seed,
+        );
+        assert!(report.sink_completed, "seed {seed}");
+        assert_eq!(report.injected, 1, "seed {seed}");
+        assert!(
+            report.recoveries >= 1,
+            "seed {seed}: a later consumer of task 0 must observe the \
+             after-notify fault and trigger recovery"
+        );
+        let observed_through_data = trace.events().iter().any(|te| {
+            matches!(
+                te.event,
+                Event::FaultObserved {
+                    source: 0,
+                    kind: nabbit_ft::fault::FaultKind::Data
+                }
+            )
+        });
+        if observed_through_data {
+            data_path_runs += 1;
+            assert!(
+                report.resets >= 1,
+                "seed {seed}: a consumer that read poisoned data must \
+                 re-explore via ResetNode"
+            );
+        }
+        let dag2 = Arc::clone(&dag);
+        let extra = check_result_equivalence(
+            &keys,
+            |k| dag2.value_of(k),
+            |k| reference.get(&k).copied(),
+        );
+        assert_oracle_clean(
+            "after-notify-consumer",
+            seed,
+            &plan,
+            dag.as_ref(),
+            &trace,
+            &report,
+            OracleMode::Strict,
+            extra,
+        );
+    }
+    assert!(
+        data_path_runs >= 1,
+        "no schedule exercised observation through the poisoned data block"
+    );
+}

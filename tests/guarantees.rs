@@ -2,67 +2,50 @@
 //!
 //! These run the full stack — work-stealing pool, concurrent task map,
 //! fault-tolerant scheduler — on a wavefront grid graph and check the
-//! guarantees through the run metrics.
+//! guarantees through the run metrics. Every run is also recorded and
+//! validated by the trace oracle (Concurrent mode); an oracle violation
+//! dumps the trace + fault plan as JSON under `target/oracle-failures/`.
 
+use ft_integration::graphs::Grid;
+use ft_integration::{assert_oracle_clean, traced_run_on};
 use ft_steal::pool::{Pool, PoolConfig};
-use nabbit_ft::fault::Fault;
-use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+use nabbit_ft::graph::Key;
 use nabbit_ft::inject::{FaultPlan, FaultSite, Phase};
 use nabbit_ft::metrics::RunReport;
-use nabbit_ft::scheduler::FtScheduler;
+use nabbit_ft::trace::oracle::OracleMode;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// n×n wavefront grid: (i,j) depends on (i-1,j) and (i,j-1).
-struct Grid {
-    n: i64,
-}
-
-impl TaskGraph for Grid {
-    fn sink(&self) -> Key {
-        self.n * self.n - 1
-    }
-    fn predecessors(&self, k: Key) -> Vec<Key> {
-        let (i, j) = (k / self.n, k % self.n);
-        let mut p = Vec::new();
-        if i > 0 {
-            p.push((i - 1) * self.n + j);
-        }
-        if j > 0 {
-            p.push(i * self.n + (j - 1));
-        }
-        p
-    }
-    fn successors(&self, k: Key) -> Vec<Key> {
-        let (i, j) = (k / self.n, k % self.n);
-        let mut s = Vec::new();
-        if i + 1 < self.n {
-            s.push((i + 1) * self.n + j);
-        }
-        if j + 1 < self.n {
-            s.push(i * self.n + (j + 1));
-        }
-        s
-    }
-    fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
-        Ok(())
-    }
-}
-
 /// Run with a watchdog: Lemma 3 promises the sink completes; a hang is a
-/// test failure, not a timeout of the suite.
+/// test failure, not a timeout of the suite. Afterwards the recorded trace
+/// must satisfy the guarantee oracle.
 fn run_watchdog(n: i64, threads: usize, plan: FaultPlan, secs: u64) -> RunReport {
+    let g = Arc::new(Grid { n });
+    let plan = Arc::new(plan);
     let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let g = Arc::new(Grid { n });
-        let pool = Pool::new(PoolConfig::with_threads(threads));
-        let sched = FtScheduler::with_plan(g as _, Arc::new(plan));
-        let report = sched.run(&pool);
-        let _ = tx.send(report);
-    });
-    rx.recv_timeout(Duration::from_secs(secs))
-        .expect("run hung: Guarantee 4 / Lemma 3 violated")
+    {
+        let g = Arc::clone(&g);
+        let plan = Arc::clone(&plan);
+        std::thread::spawn(move || {
+            let pool = Pool::new(PoolConfig::with_threads(threads));
+            let _ = tx.send(traced_run_on(g as _, plan, &pool));
+        });
+    }
+    let (_, trace, report) = rx
+        .recv_timeout(Duration::from_secs(secs))
+        .expect("run hung: Guarantee 4 / Lemma 3 violated");
+    assert_oracle_clean(
+        &format!("guarantees-grid{n}x{n}-t{threads}"),
+        0,
+        &plan,
+        g.as_ref(),
+        &trace,
+        &report,
+        OracleMode::Concurrent,
+        Vec::new(),
+    );
+    report
 }
 
 #[test]

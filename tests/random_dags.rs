@@ -1,125 +1,24 @@
-//! Property-based tests: random layered DAGs × random fault plans.
+//! Property-based tests: random layered DAGs × random fault plans,
+//! generated *jointly* so every sampled fault site names a task that
+//! actually exists in the sampled DAG (key × phase × fires).
 //!
 //! For arbitrary DAG shapes and arbitrary fault injections, the
 //! fault-tolerant scheduler must (P1/Theorem 1) produce exactly the values
 //! a sequential execution produces, (P2/Guarantee 1) recover each failure
-//! at most once, and (P4/Lemma 3) always complete.
+//! at most once, and (P4/Lemma 3) always complete. Every run is recorded
+//! and replayed through the guarantee oracle; a violation dumps the trace
+//! and fault plan as JSON under `target/oracle-failures/`.
 
-use ft_cmap::ShardedMap;
+use ft_integration::graphs::ValueDag;
+use ft_integration::{assert_oracle_clean, traced_run_on};
 use ft_steal::pool::{Pool, PoolConfig};
-use nabbit_ft::fault::Fault;
-use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+use nabbit_ft::graph::{Key, TaskGraph};
 use nabbit_ft::inject::{FaultPlan, FaultSite, Phase};
-use nabbit_ft::scheduler::FtScheduler;
 use nabbit_ft::seq;
+use nabbit_ft::trace::oracle::{check_result_equivalence, OracleMode};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
-
-/// A randomly generated layered DAG. Task values are a deterministic hash
-/// of predecessor values, stored in a (resilient) concurrent map.
-struct RandomDag {
-    preds: HashMap<Key, Vec<Key>>,
-    succs: HashMap<Key, Vec<Key>>,
-    sink: Key,
-    values: ShardedMap<u64>,
-}
-
-impl RandomDag {
-    /// Build from a shape description: `widths[l]` nodes in layer `l`;
-    /// `edges_seed` drives predecessor selection.
-    fn generate(widths: &[usize], edges_seed: u64) -> RandomDag {
-        let mut preds: HashMap<Key, Vec<Key>> = HashMap::new();
-        let mut succs: HashMap<Key, Vec<Key>> = HashMap::new();
-        let mut state = edges_seed | 1;
-        let mut next = move || {
-            // xorshift64
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let key_of = |layer: usize, idx: usize| (layer * 1000 + idx) as Key;
-        for (l, &w) in widths.iter().enumerate() {
-            for idx in 0..w {
-                let k = key_of(l, idx);
-                let mut p = Vec::new();
-                if l > 0 {
-                    let prev_w = widths[l - 1];
-                    let nparents = 1 + (next() as usize) % 3.min(prev_w);
-                    for t in 0..nparents {
-                        let cand = key_of(l - 1, (next() as usize + t) % prev_w);
-                        if !p.contains(&cand) {
-                            p.push(cand);
-                        }
-                    }
-                }
-                for &q in &p {
-                    succs.entry(q).or_default().push(k);
-                }
-                preds.insert(k, p);
-                succs.entry(k).or_default();
-            }
-        }
-        // Sink depends on every node without successors.
-        let sink: Key = 999_999;
-        let mut sink_preds: Vec<Key> = preds
-            .keys()
-            .copied()
-            .filter(|k| succs.get(k).map(|s| s.is_empty()).unwrap_or(true))
-            .collect();
-        sink_preds.sort_unstable();
-        for &q in &sink_preds {
-            succs.get_mut(&q).unwrap().push(sink);
-        }
-        preds.insert(sink, sink_preds);
-        succs.insert(sink, vec![]);
-        RandomDag {
-            preds,
-            succs,
-            sink,
-            values: ShardedMap::with_shards(16),
-        }
-    }
-
-    fn task_count(&self) -> usize {
-        self.preds.len()
-    }
-
-    fn all_keys(&self) -> Vec<Key> {
-        let mut v: Vec<Key> = self.preds.keys().copied().collect();
-        v.sort_unstable();
-        v
-    }
-
-    fn value_of(&self, k: Key) -> Option<u64> {
-        self.values.get(k)
-    }
-}
-
-impl TaskGraph for RandomDag {
-    fn sink(&self) -> Key {
-        self.sink
-    }
-    fn predecessors(&self, key: Key) -> Vec<Key> {
-        self.preds.get(&key).cloned().unwrap_or_default()
-    }
-    fn successors(&self, key: Key) -> Vec<Key> {
-        self.succs.get(&key).cloned().unwrap_or_default()
-    }
-    fn compute(&self, key: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
-        let mut h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        for p in self.predecessors(key) {
-            let pv = self
-                .values
-                .get(p)
-                .expect("predecessor value present (dependences guarantee it)");
-            h = h.rotate_left(13) ^ pv.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-        }
-        self.values.replace(key, h);
-        Ok(())
-    }
-}
 
 fn shared_pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
@@ -128,7 +27,7 @@ fn shared_pool() -> &'static Pool {
 
 /// Oracle: values from a sequential fault-free execution.
 fn sequential_values(widths: &[usize], edges_seed: u64) -> HashMap<Key, u64> {
-    let dag = RandomDag::generate(widths, edges_seed);
+    let dag = ValueDag::generate(widths, edges_seed);
     seq::run(&dag).unwrap();
     dag.all_keys()
         .into_iter()
@@ -136,12 +35,85 @@ fn sequential_values(widths: &[usize], edges_seed: u64) -> HashMap<Key, u64> {
         .collect()
 }
 
-fn phase_of(sel: u8) -> Phase {
-    match sel % 3 {
-        0 => Phase::BeforeCompute,
-        1 => Phase::AfterCompute,
-        _ => Phase::AfterNotify,
-    }
+/// A DAG shape together with a fault plan drawn over that DAG's keys.
+#[derive(Debug, Clone)]
+struct DagWithFaults {
+    widths: Vec<usize>,
+    edges_seed: u64,
+    sites: Vec<FaultSite>,
+}
+
+fn any_phase() -> impl Strategy<Value = Phase> {
+    prop_oneof![
+        Just(Phase::BeforeCompute),
+        Just(Phase::AfterCompute),
+        Just(Phase::AfterNotify),
+    ]
+}
+
+/// Joint strategy: sample a DAG shape, then sample fault sites *over the
+/// keys of that DAG* — each site an independently drawn
+/// (key, phase, fires ∈ 1..=max_fires) triple. Duplicate keys are fine:
+/// `FaultPlan::new` keeps the last site per key (the paper injects at most
+/// one fault per task).
+fn dag_with_faults(max_fires: u64) -> impl Strategy<Value = DagWithFaults> {
+    (prop::collection::vec(1usize..7, 1..6), any::<u64>()).prop_flat_map(
+        move |(widths, edges_seed)| {
+            let keys = ValueDag::generate(&widths, edges_seed).all_keys();
+            let n = keys.len();
+            let site = (0..n, any_phase(), 1u64..max_fires + 1).prop_map(
+                move |(i, phase, fires)| FaultSite {
+                    key: keys[i],
+                    phase,
+                    fires,
+                },
+            );
+            let widths2 = widths.clone();
+            prop::collection::vec(site, 0..n + 1).prop_map(move |sites| DagWithFaults {
+                widths: widths2.clone(),
+                edges_seed,
+                sites,
+            })
+        },
+    )
+}
+
+/// Run one sampled (DAG, fault plan) instance on the shared pool, check
+/// the trace with the oracle, and return `(dag, plan fired count)` for
+/// extra per-test assertions.
+fn run_and_check(case: &DagWithFaults, label: &str) -> Arc<ValueDag> {
+    let reference = sequential_values(&case.widths, case.edges_seed);
+    let dag = Arc::new(ValueDag::generate(&case.widths, case.edges_seed));
+    let keys = dag.all_keys();
+    let plan = Arc::new(FaultPlan::new(case.sites.iter().copied()));
+    let (_, trace, report) = traced_run_on(
+        Arc::clone(&dag) as Arc<dyn TaskGraph>,
+        Arc::clone(&plan),
+        shared_pool(),
+    );
+    assert!(report.sink_completed, "{label}: sink must complete (P4)");
+    assert_eq!(
+        report.distinct_tasks_executed as usize,
+        dag.task_count(),
+        "{label}: every task executed at least once"
+    );
+    let dag2 = Arc::clone(&dag);
+    let extra = check_result_equivalence(
+        &keys,
+        |k| dag2.value_of(k),
+        |k| reference.get(&k).copied(),
+    );
+    assert_oracle_clean(
+        label,
+        0, // pool schedules are not seeded; the fault plan is in the dump
+        &plan,
+        dag.as_ref(),
+        &trace,
+        &report,
+        OracleMode::Concurrent,
+        extra,
+    );
+    dag
 }
 
 proptest! {
@@ -151,59 +123,16 @@ proptest! {
     })]
 
     #[test]
-    fn random_dag_random_faults_same_result(
-        widths in prop::collection::vec(1usize..7, 1..6),
-        edges_seed in any::<u64>(),
-        fault_fraction in 0.0f64..1.0,
-        phase_sel in any::<u8>(),
-        plan_seed in any::<u64>(),
-    ) {
-        let oracle = sequential_values(&widths, edges_seed);
-
-        let dag = Arc::new(RandomDag::generate(&widths, edges_seed));
-        let keys = dag.all_keys();
-        let count = ((keys.len() as f64) * fault_fraction) as usize;
-        let phase = phase_of(phase_sel);
-        let plan = Arc::new(FaultPlan::sample(&keys, count, phase, plan_seed));
-        let report = FtScheduler::with_plan(
-            Arc::clone(&dag) as Arc<dyn TaskGraph>, plan,
-        ).run(shared_pool());
-
-        prop_assert!(report.sink_completed, "sink must complete (P4)");
-        prop_assert_eq!(
-            report.distinct_tasks_executed as usize,
-            dag.task_count(),
-            "every task executed at least once"
-        );
-        for (&k, &want) in &oracle {
-            prop_assert_eq!(dag.value_of(k), Some(want), "value of task {} (P1)", k);
-        }
+    fn random_dag_random_faults_same_result(case in dag_with_faults(1)) {
+        run_and_check(&case, "random-dag-single-fire");
     }
 
     #[test]
-    fn random_dag_multi_fire_faults_same_result(
-        widths in prop::collection::vec(1usize..6, 2..5),
-        edges_seed in any::<u64>(),
-        fires in 1u64..4,
-        plan_seed in any::<u64>(),
-    ) {
-        let oracle = sequential_values(&widths, edges_seed);
-        let dag = Arc::new(RandomDag::generate(&widths, edges_seed));
-        let keys = dag.all_keys();
-        // Every 3rd task fails `fires` times across incarnations.
-        let sites: Vec<FaultSite> = keys.iter().enumerate()
-            .filter(|(i, _)| (*i as u64 + plan_seed) % 3 == 0)
-            .map(|(_, &k)| FaultSite { key: k, phase: Phase::AfterCompute, fires })
-            .collect();
-        let plan = Arc::new(FaultPlan::new(sites));
-        let report = FtScheduler::with_plan(
-            Arc::clone(&dag) as Arc<dyn TaskGraph>, plan,
-        ).run(shared_pool());
-
-        prop_assert!(report.sink_completed);
-        for (&k, &want) in &oracle {
-            prop_assert_eq!(dag.value_of(k), Some(want));
-        }
+    fn random_dag_multi_fire_faults_same_result(case in dag_with_faults(3)) {
+        // fires ∈ 1..=3 exercises Guarantee 6's recursive recovery: a
+        // recovered incarnation can itself fail and must be recovered at a
+        // strictly larger life.
+        run_and_check(&case, "random-dag-multi-fire");
     }
 
     #[test]
@@ -211,9 +140,16 @@ proptest! {
         widths in prop::collection::vec(1usize..8, 1..6),
         edges_seed in any::<u64>(),
     ) {
-        let dag = Arc::new(RandomDag::generate(&widths, edges_seed));
-        let report = FtScheduler::new(Arc::clone(&dag) as Arc<dyn TaskGraph>)
-            .run(shared_pool());
+        let case = DagWithFaults { widths, edges_seed, sites: vec![] };
+        let dag = run_and_check(&case, "random-dag-fault-free");
+        let plan = Arc::new(FaultPlan::none());
+        let (_, _, report) = traced_run_on(
+            Arc::clone(&dag) as Arc<dyn TaskGraph>,
+            plan,
+            shared_pool(),
+        );
+        // Second, fault-free pass over an already-complete graph object:
+        // fresh scheduler, so every task recomputes exactly once (P6).
         prop_assert!(report.sink_completed);
         prop_assert_eq!(report.computes as usize, dag.task_count(), "P6");
         prop_assert_eq!(report.re_executions, 0);

@@ -1,16 +1,21 @@
 //! Stress tests: dense fault load, recursive failures, deep recovery
 //! chains, and scheduler-infrastructure churn. These exist to shake out
-//! races the unit tests' small configurations cannot reach.
+//! races the unit tests' small configurations cannot reach. Every run is
+//! recorded and validated by the trace oracle (Concurrent mode); an
+//! oracle violation dumps the trace + fault plan as JSON under
+//! `target/oracle-failures/`.
 
 use ft_apps::fw::Fw;
 use ft_apps::lu::Lu;
 use ft_apps::sw::Sw;
 use ft_apps::{AppConfig, BenchApp, VersionClass};
+use ft_integration::graphs::Chain;
+use ft_integration::{assert_oracle_clean, traced_run_on};
 use ft_steal::pool::{Pool, PoolConfig};
 use nabbit_ft::fault::Fault;
 use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
 use nabbit_ft::inject::{FaultPlan, FaultSite, Phase};
-use nabbit_ft::scheduler::FtScheduler;
+use nabbit_ft::trace::oracle::OracleMode;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,6 +28,28 @@ fn watchdog<F: FnOnce() + Send + 'static>(secs: u64, f: F) {
     });
     rx.recv_timeout(Duration::from_secs(secs))
         .expect("stress run hung");
+}
+
+/// Traced run + oracle validation, returning the report for extra asserts.
+fn checked_run(
+    label: &str,
+    graph: Arc<dyn TaskGraph>,
+    plan: Arc<FaultPlan>,
+    threads: usize,
+) -> nabbit_ft::metrics::RunReport {
+    let pool = Pool::new(PoolConfig::with_threads(threads));
+    let (_, trace, report) = traced_run_on(Arc::clone(&graph), Arc::clone(&plan), &pool);
+    assert_oracle_clean(
+        label,
+        0,
+        &plan,
+        graph.as_ref(),
+        &trace,
+        &report,
+        OracleMode::Concurrent,
+        Vec::new(),
+    );
+    report
 }
 
 #[test]
@@ -39,8 +66,7 @@ fn every_task_fails_three_times_sw() {
             })
             .collect();
         let plan = Arc::new(FaultPlan::new(sites));
-        let pool = Pool::new(PoolConfig::with_threads(8));
-        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        let report = checked_run("stress-sw-all-fail-3x", Arc::clone(&app) as _, plan, 8);
         assert!(report.sink_completed);
         app.verify().unwrap();
     });
@@ -67,8 +93,7 @@ fn mixed_phase_dense_faults_lu() {
             })
             .collect();
         let plan = Arc::new(FaultPlan::new(sites));
-        let pool = Pool::new(PoolConfig::with_threads(8));
-        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        let report = checked_run("stress-lu-mixed-phase", Arc::clone(&app) as _, plan, 8);
         assert!(report.sink_completed);
         let o = app.verify_detailed().unwrap();
         assert!(o.checked > 0);
@@ -84,8 +109,7 @@ fn deep_chain_recovery_fw_single_version() {
         let app = Arc::new(Fw::with_single_version(AppConfig::new(96, 16))); // nb=6
         let last = app.tasks_of_class(VersionClass::Last);
         let plan = Arc::new(FaultPlan::sample(&last, 3, Phase::AfterCompute, 1234));
-        let pool = Pool::new(PoolConfig::with_threads(4));
-        let report = FtScheduler::with_plan(Arc::clone(&app) as _, plan).run(&pool);
+        let report = checked_run("stress-fw-deep-chain", Arc::clone(&app) as _, plan, 4);
         assert!(report.sink_completed);
         assert!(
             report.re_executions >= 3,
@@ -99,37 +123,11 @@ fn deep_chain_recovery_fw_single_version() {
 #[test]
 fn long_narrow_chain_graph_with_faults() {
     // A pure chain maximizes the critical path and serial recovery.
-    struct Chain {
-        len: i64,
-    }
-    impl TaskGraph for Chain {
-        fn sink(&self) -> Key {
-            self.len - 1
-        }
-        fn predecessors(&self, k: Key) -> Vec<Key> {
-            if k == 0 {
-                vec![]
-            } else {
-                vec![k - 1]
-            }
-        }
-        fn successors(&self, k: Key) -> Vec<Key> {
-            if k == self.len - 1 {
-                vec![]
-            } else {
-                vec![k + 1]
-            }
-        }
-        fn compute(&self, _: Key, _: &ComputeCtx<'_>) -> Result<(), Fault> {
-            Ok(())
-        }
-    }
     watchdog(180, || {
         let g = Arc::new(Chain { len: 2000 });
         let keys: Vec<Key> = (0..2000).collect();
         let plan = Arc::new(FaultPlan::sample(&keys, 200, Phase::AfterCompute, 5));
-        let pool = Pool::new(PoolConfig::with_threads(4));
-        let report = FtScheduler::with_plan(g as _, plan).run(&pool);
+        let report = checked_run("stress-chain2000", g as _, plan, 4);
         assert!(report.sink_completed);
         assert_eq!(report.injected, 200);
         assert_eq!(report.re_executions, 200);
@@ -177,8 +175,7 @@ fn wide_star_graph_with_faulty_center() {
             fires: 4,
         });
         let plan = Arc::new(FaultPlan::new(sites));
-        let pool = Pool::new(PoolConfig::with_threads(8));
-        let report = FtScheduler::with_plan(g as _, plan).run(&pool);
+        let report = checked_run("stress-star2000", g as _, plan, 8);
         assert!(report.sink_completed);
     });
 }
@@ -186,16 +183,26 @@ fn wide_star_graph_with_faulty_center() {
 #[test]
 fn repeated_runs_do_not_leak_state() {
     // The pool is reused across many faulted runs; per-run scheduler state
-    // (maps, recovery table) must be independent.
+    // (maps, recovery table, traces) must be independent.
     watchdog(300, || {
         let pool = Pool::new(PoolConfig::with_threads(4));
         for round in 0..10 {
             let app = Arc::new(Sw::new(AppConfig::new(64, 16)));
             let keys = app.all_tasks();
             let plan = Arc::new(FaultPlan::sample(&keys, 4, Phase::AfterCompute, round));
-            let sched = FtScheduler::with_plan(Arc::clone(&app) as _, plan);
-            let report = sched.run(&pool);
+            let (sched, trace, report) =
+                traced_run_on(Arc::clone(&app) as _, Arc::clone(&plan), &pool);
             assert!(report.sink_completed, "round {round}");
+            assert_oracle_clean(
+                &format!("stress-repeated-round{round}"),
+                0,
+                &plan,
+                app.as_ref(),
+                &trace,
+                &report,
+                OracleMode::Concurrent,
+                Vec::new(),
+            );
             app.verify()
                 .unwrap_or_else(|e| panic!("round {round}: {e}"));
             assert_eq!(sched.recovery_table_len(), 4, "round {round}");
