@@ -116,7 +116,10 @@ impl ExperimentReport {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"id\": {},\n", json_escape(&self.id)));
         out.push_str(&format!("  \"title\": {},\n", json_escape(&self.title)));
-        out.push_str(&format!("  \"headers\": {},\n", str_array(&self.headers, "  ")));
+        out.push_str(&format!(
+            "  \"headers\": {},\n",
+            str_array(&self.headers, "  ")
+        ));
         if self.rows.is_empty() {
             out.push_str("  \"rows\": [],\n");
         } else {

@@ -12,13 +12,18 @@
 //! * [`graph::TaskGraph`] — what the user supplies: a sink key, ordered
 //!   predecessor/successor functions, and a `compute` function (Section III
 //!   of the paper).
-//! * [`scheduler::baseline`] — the plain NABBIT scheduler (the non-shaded
-//!   pseudocode of Figure 2): join counters, notify arrays, work stealing.
+//! * [`scheduler::engine`] — the single copy of the Figure-2 traversal,
+//!   generic over a [`scheduler::FtPolicy`]: join counters, notify arrays,
+//!   work stealing.
+//! * [`scheduler::baseline`] — the plain NABBIT scheduler
+//!   ([`scheduler::BaselineScheduler`] = `Engine<NoFt>`): the non-shaded
+//!   pseudocode of Figure 2, with every fault guard compiled away
+//!   (`Err = Infallible`, zero-sized policy).
 //! * [`scheduler::ft`] + [`scheduler::recovery`] — the paper's contribution
-//!   (shaded portions of Figure 2, all of Figure 3): life numbers, the
-//!   recovery table `R`, per-predecessor notification bit vectors, notify
-//!   array reconstruction, and cascading recovery of overwritten data-block
-//!   versions.
+//!   ([`scheduler::FtScheduler`] = `Engine<FtRecovery>`; shaded portions of
+//!   Figure 2, all of Figure 3): life numbers, the recovery table `R`,
+//!   per-predecessor notification bit vectors, notify array reconstruction,
+//!   and cascading recovery of overwritten data-block versions.
 //! * [`blocks::BlockStore`] — versioned data blocks with a memory-reuse
 //!   retention policy; reading an evicted version reports the producer so
 //!   the scheduler can re-execute the producing chain (Section IV,
@@ -39,7 +44,7 @@
 //! ```
 //! use nabbit_ft::graph::{Key, TaskGraph, ComputeCtx};
 //! use nabbit_ft::fault::Fault;
-//! use nabbit_ft::scheduler::ft::FtScheduler;
+//! use nabbit_ft::scheduler::FtScheduler;
 //! use ft_steal::pool::{Pool, PoolConfig};
 //! use std::sync::atomic::{AtomicU64, Ordering};
 //!

@@ -6,13 +6,60 @@
 //! counters make that verification possible: every successful compute,
 //! re-execution, recovery initiation, reset, and injected fault is counted.
 //!
-//! Counters are process-wide atomics bumped on cold or already-heavy paths
-//! (a compute call dwarfs one `fetch_add`), so they do not perturb the
-//! measured overheads.
+//! Cold-path counters (recoveries, faults, resets) are process-wide
+//! atomics: a compute call dwarfs one `fetch_add`. The per-notification
+//! counters fire on *every graph edge*, so they are [`ShardedCounter`]s —
+//! cache-padded per-worker lanes selected by the worker index the engine
+//! threads through, summed only at snapshot time — and never contend
+//! cross-worker.
 
 use ft_cmap::ShardedMap;
+use ft_steal::metrics::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Number of lanes in a [`ShardedCounter`]. Workers beyond this fold onto
+/// existing lanes (still correct, marginally more contended).
+const COUNTER_LANES: usize = 16;
+
+/// A relaxed event counter split into cache-padded per-worker lanes.
+///
+/// `add` lands on the calling worker's lane, so two workers bumping the
+/// same logical counter never bounce a cache line between them; `load`
+/// sums the lanes (called once per run, after quiescence).
+pub struct ShardedCounter {
+    lanes: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        ShardedCounter {
+            lanes: (0..COUNTER_LANES)
+                .map(|_| CachePadded(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Increment the lane of `worker` (threads outside the pool share the
+    /// last lane).
+    #[inline]
+    pub fn add(&self, worker: Option<usize>) {
+        let lane = worker.map_or(COUNTER_LANES - 1, |w| w % COUNTER_LANES);
+        self.lanes[lane].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of all lanes.
+    pub fn load(&self) -> u64 {
+        self.lanes.iter().map(|l| l.0.load(Ordering::Relaxed)).sum()
+    }
+}
 
 /// Mutable counters owned by one scheduler run.
 #[derive(Default)]
@@ -29,9 +76,11 @@ pub struct RunMetrics {
     /// `ResetNode` invocations (task re-explored after an input fault).
     pub resets: AtomicU64,
     /// Notifications delivered (`NotifyOnce` bit-unset successes).
-    pub notifications: AtomicU64,
+    /// Per-edge hot path: sharded by worker.
+    pub notifications: ShardedCounter,
     /// Duplicate notifications absorbed by the bit vector (bit already 0).
-    pub duplicate_notifications: AtomicU64,
+    /// Per-edge hot path: sharded by worker.
+    pub duplicate_notifications: ShardedCounter,
     /// Faults injected by the plan.
     pub injected: AtomicU64,
     /// Evicted-version reads (each starts a producer chain re-execution).
@@ -71,8 +120,8 @@ impl RunMetrics {
             recoveries: self.recoveries.load(Ordering::Relaxed),
             recoveries_suppressed: self.recoveries_suppressed.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
-            notifications: self.notifications.load(Ordering::Relaxed),
-            duplicate_notifications: self.duplicate_notifications.load(Ordering::Relaxed),
+            notifications: self.notifications.load(),
+            duplicate_notifications: self.duplicate_notifications.load(),
             injected: self.injected.load(Ordering::Relaxed),
             overwrite_faults: self.overwrite_faults.load(Ordering::Relaxed),
             distinct_tasks_executed: distinct,
@@ -154,6 +203,32 @@ mod tests {
         assert_eq!(r.distinct_tasks_executed, 2);
         assert_eq!(r.re_executions, 1);
         assert_eq!(r.max_executions_one_task, 2);
+    }
+
+    #[test]
+    fn sharded_counter_sums_lanes() {
+        let c = ShardedCounter::new();
+        c.add(Some(0));
+        c.add(Some(1));
+        c.add(Some(COUNTER_LANES + 1)); // folds onto lane 1
+        c.add(None); // non-pool thread lane
+        assert_eq!(c.load(), 4);
+    }
+
+    #[test]
+    fn sharded_counter_concurrent_adds() {
+        let c = std::sync::Arc::new(ShardedCounter::new());
+        std::thread::scope(|s| {
+            for w in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(Some(w));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), 8000);
     }
 
     #[test]

@@ -1,180 +1,133 @@
 //! The baseline NABBIT scheduler — Figure 2, non-shaded portions only.
 //!
-//! Execution begins by inserting the **sink** task and invoking
-//! `InitAndCompute` on it. The traversal expands the task graph bottom-up
-//! (toward the sources): `TryInitCompute` creates each predecessor on first
-//! touch and either registers the current task in the predecessor's notify
-//! array (predecessor not yet computed) or directly notifies the current
-//! task. A task whose join counter reaches zero runs `ComputeAndNotify`,
-//! which executes the user compute function and drains the notify array.
+//! [`BaselineScheduler`] is [`Engine<NoFt>`]: the shared traversal of
+//! [`super::engine`] instantiated with a policy whose error type is
+//! [`Infallible`] and whose descriptor is the FT-state-free
+//! [`BaseDesc`]. After monomorphization every guard is a constant
+//! `Ok(())` and every catch arm is uninhabited, so the compiled scheduler
+//! contains no fault-tolerance branches or fields — the paper's "baseline
+//! version includes no additional data structures or statements introduced
+//! for fault tolerance".
 //!
-//! Every traversal step is a work-stealing job ("the creation and
-//! computation of the predecessors of a given task are concurrent and can
-//! be executed by different threads").
+//! A compute that returns a fault panics: the baseline, like the paper's,
+//! has no recovery path.
 
-use crate::graph::{ComputeCtx, Key, TaskGraph};
-use crate::metrics::{RunMetrics, RunReport};
+use super::engine::{Engine, FtPolicy};
+use crate::fault::Fault;
+use crate::graph::{Key, TaskGraph};
+use crate::inject::Phase;
 use crate::task::{BaseDesc, Status};
-use ft_cmap::ShardedMap;
-use ft_steal::pool::{Executor, Scope};
-use std::sync::atomic::Ordering;
+use crate::trace::Event;
+use ft_steal::pool::Scope;
+use std::convert::Infallible;
 use std::sync::Arc;
-use std::time::Instant;
 
-/// The non-fault-tolerant NABBIT scheduler.
-pub struct BaselineScheduler {
-    graph: Arc<dyn TaskGraph>,
-    map: ShardedMap<Arc<BaseDesc>>,
-    metrics: RunMetrics,
+/// The no-fault-tolerance policy: all guards pass, no probes, no recovery.
+pub struct NoFt;
+
+impl FtPolicy for NoFt {
+    type Desc = BaseDesc;
+    type Err = Infallible;
+
+    fn make_desc(&self, graph: &dyn TaskGraph, key: Key) -> BaseDesc {
+        BaseDesc::new(key, graph.predecessors(key))
+    }
+
+    #[inline]
+    fn emit(&self, _worker: Option<usize>, _event: Event) {}
+
+    #[inline]
+    fn check(_d: &BaseDesc) -> Result<(), Infallible> {
+        Ok(())
+    }
+
+    #[inline]
+    fn read_status(d: &BaseDesc) -> Result<Status, Infallible> {
+        Ok(d.status())
+    }
+
+    #[inline]
+    fn check_dependable(_b: &BaseDesc) -> Result<(), Infallible> {
+        Ok(())
+    }
+
+    #[inline]
+    fn consume_notification(
+        _engine: &Engine<Self>,
+        _a: &BaseDesc,
+        _key: Key,
+        _pkey: Key,
+        _life: u64,
+        _worker: Option<usize>,
+    ) -> Result<bool, Infallible> {
+        Ok(true)
+    }
+
+    #[inline]
+    fn join_underflow_ok(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn is_recovery_exec(_d: &BaseDesc) -> bool {
+        false
+    }
+
+    #[inline]
+    fn probe(
+        _engine: &Engine<Self>,
+        _a: &BaseDesc,
+        _key: Key,
+        _phase: Phase,
+        _worker: Option<usize>,
+    ) {
+    }
+
+    fn compute_error(_engine: &Engine<Self>, f: Fault) -> Infallible {
+        panic!("baseline scheduler has no recovery path: {f}")
+    }
+
+    fn on_guard_fault(
+        _engine: &Arc<Engine<Self>>,
+        _s: &Scope<'_>,
+        f: Infallible,
+        _key: Key,
+        _life: u64,
+    ) {
+        match f {}
+    }
+
+    fn on_compute_fault(
+        _engine: &Arc<Engine<Self>>,
+        _s: &Scope<'_>,
+        _a: Arc<BaseDesc>,
+        _key: Key,
+        _life: u64,
+        f: Infallible,
+    ) {
+        match f {}
+    }
 }
 
-impl BaselineScheduler {
+/// The non-fault-tolerant NABBIT scheduler.
+pub type BaselineScheduler = Engine<NoFt>;
+
+impl Engine<NoFt> {
     /// Create a scheduler for `graph`. One scheduler instance = one run.
     pub fn new(graph: Arc<dyn TaskGraph>) -> Arc<Self> {
-        Arc::new(BaselineScheduler {
-            graph,
-            map: ShardedMap::new(),
-            metrics: RunMetrics::new(),
-        })
-    }
-
-    /// Execute the task graph to completion on `exec`; returns run
-    /// statistics. Panics if any compute returns a fault — the baseline
-    /// scheduler, like the paper's, has no recovery path.
-    pub fn run(self: &Arc<Self>, exec: &dyn Executor) -> RunReport {
-        let start = Instant::now();
-        let sink = self.graph.sink();
-        self.insert_if_absent(sink);
-        let sd = self.map.get(sink).expect("sink just inserted");
-        let this = Arc::clone(self);
-        let root = Arc::clone(&sd);
-        exec.execute_job(Box::new(move |scope: &Scope<'_>| {
-            scope.spawn(move |s| this.init_and_compute(s, root));
-        }));
-        let mut report = self.metrics.snapshot();
-        report.sink_completed = self
-            .map
-            .get(sink)
-            .map(|d| d.status() == Status::Completed)
-            .unwrap_or(false);
-        report.elapsed = start.elapsed();
-        report
-    }
-
-    /// Number of task descriptors created (diagnostics).
-    pub fn tasks_created(&self) -> usize {
-        self.map.len()
-    }
-
-    fn insert_if_absent(&self, key: Key) -> bool {
-        self.map.insert_if_absent(key, || {
-            Arc::new(BaseDesc::new(key, self.graph.predecessors(key)))
-        })
-    }
-
-    /// `InitAndCompute(A)`: traverse immediate predecessors, then
-    /// self-notify (consuming the `+1` in the join counter).
-    fn init_and_compute(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>) {
-        for pkey in a.preds.clone() {
-            let this = Arc::clone(self);
-            let a2 = Arc::clone(&a);
-            s.spawn(move |s| this.try_init_compute(s, a2, pkey));
-        }
-        let key = a.key;
-        self.notify_once(s, a, key);
-    }
-
-    /// `TryInitCompute(A, pkey)`: create/visit predecessor `pkey`; register
-    /// A for notification or observe completion.
-    fn try_init_compute(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>, pkey: Key) {
-        let inserted = self.insert_if_absent(pkey);
-        let b = self.map.get(pkey).expect("predecessor just ensured");
-        if inserted {
-            let this = Arc::clone(self);
-            let b2 = Arc::clone(&b);
-            s.spawn(move |s| this.init_and_compute(s, b2));
-        }
-        let finished = {
-            // The status read must happen under B's notify lock: it pairs
-            // with ComputeAndNotify's locked length re-check so a
-            // registration can never be missed.
-            let mut g = b.notify.lock();
-            if b.status() < Status::Computed {
-                g.push(a.key);
-                false
-            } else {
-                true
-            }
-        };
-        if finished {
-            self.notify_once(s, a, pkey);
-        }
-    }
-
-    /// `NotifyOnce(A, pkey)`: decrement the join counter; execute A when it
-    /// reaches zero.
-    fn notify_once(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>, _pkey: Key) {
-        self.metrics.notifications.fetch_add(1, Ordering::Relaxed);
-        let val = a.join.fetch_sub(1, Ordering::AcqRel) - 1;
-        debug_assert!(
-            val >= 0,
-            "baseline join counter underflow on task {}",
-            a.key
-        );
-        if val == 0 {
-            self.compute_and_notify(s, a);
-        }
-    }
-
-    /// `ComputeAndNotify(A)`: run the user compute, transition to Computed,
-    /// drain the notify array, transition to Completed.
-    fn compute_and_notify(self: &Arc<Self>, s: &Scope<'_>, a: Arc<BaseDesc>) {
-        let ctx = ComputeCtx::new(1, false, s.worker_index());
-        self.graph
-            .compute(a.key, &ctx)
-            .unwrap_or_else(|f| panic!("baseline scheduler has no recovery path: {f}"));
-        self.metrics.record_compute(a.key);
-        a.set_status(Status::Computed);
-
-        let mut notified = 0usize;
-        loop {
-            let batch: Vec<Key> = {
-                let g = a.notify.lock();
-                g[notified..].to_vec()
-            };
-            for skey in &batch {
-                let this = Arc::clone(self);
-                let skey = *skey;
-                let key = a.key;
-                s.spawn(move |s| this.notify_successor(s, key, skey));
-            }
-            notified += batch.len();
-            let g = a.notify.lock();
-            if g.len() == notified {
-                a.set_status(Status::Completed);
-                return;
-            }
-        }
-    }
-
-    /// `NotifySuccessor(key, skey)`.
-    fn notify_successor(self: &Arc<Self>, s: &Scope<'_>, key: Key, skey: Key) {
-        let Some(sd) = self.map.get(skey) else {
-            debug_assert!(false, "successor {skey} vanished from the task map");
-            return;
-        };
-        self.notify_once(s, sd, key);
+        Engine::with_policy(graph, NoFt)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::Fault;
+    use crate::graph::ComputeCtx;
+    use crate::metrics::RunReport;
     use ft_steal::pool::{Pool, PoolConfig};
     use parking_lot::Mutex;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A 2-D wavefront grid graph: (i,j) depends on (i-1,j) and (i,j-1);
     /// sink is (n-1, n-1); key = i*n + j.

@@ -1,0 +1,404 @@
+//! The policy-generic Figure-2 traversal engine.
+//!
+//! The paper presents fault tolerance as a *shading* of the NABBIT
+//! traversal: Figure 2 shows one algorithm, with the FT additions
+//! highlighted. This module encodes that literally. [`Engine`] owns the
+//! single copy of `InitAndCompute` / `TryInitCompute` / `NotifyOnce` /
+//! `ComputeAndNotify` / `NotifySuccessor`, and an [`FtPolicy`] supplies
+//! everything the shading adds:
+//!
+//! * the descriptor type (via [`Descriptor`], unifying
+//!   [`BaseDesc`](crate::task::BaseDesc) and
+//!   [`FtDesc`](crate::task::FtDesc));
+//! * the guarded-access wrappers (the paper's Cilk++ `try`/`catch`);
+//! * bit-vector-gated notification (Guarantee 3);
+//! * the Section-VI fault-injection probe points;
+//! * the Figure-3 recovery hooks invoked from the catch blocks.
+//!
+//! The baseline instantiation [`Engine<NoFt>`](super::BaselineScheduler)
+//! uses [`Infallible`](std::convert::Infallible) as its error type and a
+//! zero-sized policy, so after monomorphization every guard is `Ok(())`,
+//! every catch arm is uninhabited, and the descriptor carries no FT
+//! fields — the compiled baseline is the unshaded Figure 2, matching "the
+//! baseline version includes no additional data structures or statements
+//! introduced for fault tolerance". The FT instantiation
+//! [`Engine<FtRecovery>`](super::FtScheduler) restores every shaded line.
+//!
+//! Task keys and life numbers are threaded through the call stack as
+//! explicit parameters rather than read back from (possibly corrupt)
+//! descriptors, and each traversal step is a work-stealing job ("the
+//! creation and computation of the predecessors of a given task are
+//! concurrent and can be executed by different threads"). The engine asks
+//! the executor for the current worker index at every step and hands it to
+//! the policy, so trace shards and sharded metrics lanes are selected by
+//! worker identity instead of contending cross-worker.
+
+use crate::fault::Fault;
+use crate::graph::{ComputeCtx, Key, TaskGraph};
+use crate::inject::Phase;
+use crate::metrics::{RunMetrics, RunReport};
+use crate::task::Status;
+use crate::trace::Event;
+use ft_cmap::ShardedMap;
+use ft_steal::pool::{Executor, Scope};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The per-task state the shared traversal needs from a descriptor,
+/// whichever flavor the policy picks.
+///
+/// Accessors return the Section-III fields common to both descriptor
+/// types; anything FT-specific (bit vector, poison flags, life bumping) is
+/// reached only through the policy, so the baseline descriptor never has
+/// to carry it.
+pub trait Descriptor: Send + Sync + 'static {
+    /// Life number of this incarnation (always 1 for the baseline).
+    fn life(&self) -> u64;
+    /// Ordered immediate predecessor keys, cached at creation (`Init(A)`).
+    fn preds(&self) -> &[Key];
+    /// Join counter (`|preds| + 1`; the +1 is the self-notification).
+    fn join(&self) -> &AtomicI64;
+    /// Successors enqueued to be notified when this task computes.
+    fn notify(&self) -> &Mutex<Vec<Key>>;
+    /// Store a new status.
+    fn set_status(&self, s: Status);
+}
+
+/// The shaded behavior of Figure 2 — everything that differs between the
+/// baseline and fault-tolerant schedulers.
+///
+/// Hooks come in two kinds. Guards (`check*`, `read_status`,
+/// `consume_notification`) return `Result<_, Self::Err>`; the engine's
+/// `?`s are the paper's `try` blocks and the `Err` arms its `catch`
+/// blocks. Handlers (`on_guard_fault`, `on_compute_fault`) are the catch
+/// bodies and dispatch into Figure-3 recovery. With
+/// [`Err = Infallible`](std::convert::Infallible) both kinds compile to
+/// nothing.
+pub trait FtPolicy: Send + Sync + Sized + 'static {
+    /// Descriptor type stored in the task map.
+    type Desc: Descriptor;
+    /// Guard error type: [`Fault`] for FT, uninhabited for the baseline.
+    type Err;
+
+    /// Build the first (life-1) incarnation of `key`'s descriptor.
+    fn make_desc(&self, graph: &dyn TaskGraph, key: Key) -> Self::Desc;
+
+    /// Record a trace event (no-op unless the policy carries a trace).
+    fn emit(&self, worker: Option<usize>, event: Event);
+
+    /// Guarded descriptor access: fail if the descriptor is corrupt.
+    fn check(d: &Self::Desc) -> Result<(), Self::Err>;
+
+    /// Read the status field, surfacing a smashed status byte as an error.
+    fn read_status(d: &Self::Desc) -> Result<Status, Self::Err>;
+
+    /// `TryInitCompute`'s prologue guard on the predecessor `B`: corrupt
+    /// descriptor or `if (B.overwritten) throw`.
+    fn check_dependable(b: &Self::Desc) -> Result<(), Self::Err>;
+
+    /// `NotifyOnce`'s gate: should this notification decrement the join
+    /// counter? The FT policy unsets the bit for `pkey` and absorbs
+    /// duplicates (Guarantee 3); the baseline always says yes.
+    fn consume_notification(
+        engine: &Engine<Self>,
+        a: &Self::Desc,
+        key: Key,
+        pkey: Key,
+        life: u64,
+        worker: Option<usize>,
+    ) -> Result<bool, Self::Err>;
+
+    /// Whether a negative join counter is tolerated (only under the
+    /// FT policy's mutation-testing sabotage switch).
+    fn join_underflow_ok(&self) -> bool;
+
+    /// Whether this incarnation was created by `RecoverTask` (threaded
+    /// into [`ComputeCtx`] so apps can distinguish recovery executions).
+    fn is_recovery_exec(d: &Self::Desc) -> bool;
+
+    /// Section-VI fault-injection probe (before compute / after compute /
+    /// after notify). No-op for the baseline.
+    fn probe(engine: &Engine<Self>, a: &Self::Desc, key: Key, phase: Phase, worker: Option<usize>);
+
+    /// The user compute returned a fault. The FT policy counts and
+    /// propagates it into the catch block; the baseline panics ("the
+    /// baseline scheduler has no recovery path").
+    fn compute_error(engine: &Engine<Self>, f: Fault) -> Self::Err;
+
+    /// Catch block of `TryInitCompute` / `NotifyOnce`:
+    /// `RecoverTaskOnce(key, life)` on the task whose guard failed.
+    fn on_guard_fault(engine: &Arc<Engine<Self>>, s: &Scope<'_>, f: Self::Err, key: Key, life: u64);
+
+    /// Catch block of `ComputeAndNotify`: recover `A` itself, or — for a
+    /// fault in an input — recover the input's producer and reset `A`.
+    fn on_compute_fault(
+        engine: &Arc<Engine<Self>>,
+        s: &Scope<'_>,
+        a: Arc<Self::Desc>,
+        key: Key,
+        life: u64,
+        f: Self::Err,
+    );
+}
+
+/// The single Figure-2 traversal, generic over the fault-tolerance policy.
+///
+/// Use the two instantiations: [`BaselineScheduler`](super::BaselineScheduler)
+/// (`Engine<NoFt>`) and [`FtScheduler`](super::FtScheduler)
+/// (`Engine<FtRecovery>`). One engine instance = one run.
+pub struct Engine<P: FtPolicy> {
+    pub(super) graph: Arc<dyn TaskGraph>,
+    /// The task map: key → current incarnation.
+    pub(super) map: ShardedMap<Arc<P::Desc>>,
+    pub(super) metrics: RunMetrics,
+    pub(super) policy: P,
+}
+
+impl<P: FtPolicy> Engine<P> {
+    /// Build an engine around `policy`.
+    pub(super) fn with_policy(graph: Arc<dyn TaskGraph>, policy: P) -> Arc<Self> {
+        Arc::new(Engine {
+            graph,
+            map: ShardedMap::new(),
+            metrics: RunMetrics::new(),
+            policy,
+        })
+    }
+
+    /// Execute the task graph to completion on `exec`; returns run
+    /// statistics.
+    ///
+    /// Any [`Executor`] works: the multithreaded [`ft_steal::pool::Pool`]
+    /// or the deterministic single-threaded `ft-det` pool for replayable
+    /// schedule exploration. Execution begins by inserting the **sink**
+    /// task and invoking `InitAndCompute` on it; the traversal expands the
+    /// graph bottom-up toward the sources.
+    pub fn run(self: &Arc<Self>, exec: &dyn Executor) -> RunReport {
+        let start = Instant::now();
+        let sink = self.graph.sink();
+        self.insert_if_absent(sink, None);
+        let (sd, life) = self.get_task(sink).expect("sink just inserted");
+        let this = Arc::clone(self);
+        exec.execute_job(Box::new(move |scope: &Scope<'_>| {
+            scope.spawn(move |s| this.init_and_compute(s, sd, sink, life));
+        }));
+        let mut report = self.metrics.snapshot();
+        report.sink_completed = self
+            .map
+            .get(sink)
+            .map(|d| matches!(P::read_status(&d), Ok(Status::Completed)))
+            .unwrap_or(false);
+        report.elapsed = start.elapsed();
+        report
+    }
+
+    /// Number of distinct task keys ever inserted (diagnostics).
+    pub fn tasks_created(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Borrow the task graph this engine runs.
+    pub fn graph_ref(&self) -> &dyn TaskGraph {
+        self.graph.as_ref()
+    }
+
+    /// `InsertTaskIfAbsent`.
+    pub(super) fn insert_if_absent(&self, key: Key, worker: Option<usize>) -> bool {
+        let inserted = self.map.insert_if_absent(key, || {
+            Arc::new(self.policy.make_desc(self.graph.as_ref(), key))
+        });
+        if inserted {
+            self.policy.emit(worker, Event::Inserted { key });
+        }
+        inserted
+    }
+
+    /// `GetTask`: current incarnation and its life number.
+    pub(super) fn get_task(&self, key: Key) -> Option<(Arc<P::Desc>, u64)> {
+        self.map.get(key).map(|d| {
+            let life = d.life();
+            (d, life)
+        })
+    }
+
+    /// `InitAndCompute(A, key, life)`: traverse immediate predecessors,
+    /// then self-notify (consuming the `+1` in the join counter).
+    pub(super) fn init_and_compute(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<P::Desc>,
+        key: Key,
+        life: u64,
+    ) {
+        // Iterate the cached predecessor slice by reference: the hot path
+        // allocates nothing per traversal.
+        for &pkey in a.preds() {
+            let this = Arc::clone(self);
+            let a2 = Arc::clone(&a);
+            s.spawn(move |s| this.try_init_compute(s, a2, key, life, pkey));
+        }
+        // Section VI "before compute" injection point: the task "has
+        // traversed its predecessors and is waiting for one or more
+        // notifications to be scheduled for execution".
+        P::probe(self, &a, key, Phase::BeforeCompute, s.worker_index());
+        self.notify_once(s, a, key, key, life);
+    }
+
+    /// `TryInitCompute(A, key, life, pkey)`: create/visit predecessor
+    /// `pkey`; register A for notification or observe completion.
+    pub(super) fn try_init_compute(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<P::Desc>,
+        key: Key,
+        life: u64,
+        pkey: Key,
+    ) {
+        let inserted = self.insert_if_absent(pkey, s.worker_index());
+        let Some((b, blife)) = self.get_task(pkey) else {
+            debug_assert!(false, "predecessor {pkey} vanished from the task map");
+            return;
+        };
+        if inserted {
+            let this = Arc::clone(self);
+            let b2 = Arc::clone(&b);
+            s.spawn(move |s| this.init_and_compute(s, b2, pkey, blife));
+        }
+
+        // try { check B; register or observe completion }
+        let attempt: Result<bool, P::Err> = (|| {
+            P::check_dependable(&b)?;
+            let finished = {
+                // The status read must happen under B's notify lock: it
+                // pairs with ComputeAndNotify's locked length re-check so
+                // a registration can never be missed.
+                let mut g = b.notify().lock();
+                if P::read_status(&b)? < Status::Computed {
+                    g.push(key);
+                    false
+                } else {
+                    true
+                }
+            };
+            Ok(finished)
+        })();
+
+        match attempt {
+            Ok(true) => self.notify_once(s, a, key, pkey, life),
+            Ok(false) => {}
+            // catch { RecoverTaskOnce(pkey, blife) }. A is *not* registered
+            // with B; B's recovery re-enqueues A via ReinitNotifyEntry (A's
+            // bit for B is still set).
+            Err(f) => P::on_guard_fault(self, s, f, pkey, blife),
+        }
+    }
+
+    /// `NotifyOnce(A, key, pkey, life)`: decrement the join counter (if the
+    /// policy's gate consumes the notification); execute A at zero.
+    pub(super) fn notify_once(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<P::Desc>,
+        key: Key,
+        pkey: Key,
+        life: u64,
+    ) {
+        let worker = s.worker_index();
+        let attempt: Result<bool, P::Err> = (|| {
+            P::check(&a)?;
+            if !P::consume_notification(self, &a, key, pkey, life, worker)? {
+                return Ok(false);
+            }
+            self.metrics.notifications.add(worker);
+            self.policy.emit(
+                worker,
+                Event::Notified {
+                    key,
+                    life,
+                    pred: pkey,
+                },
+            );
+            let val = a.join().fetch_sub(1, Ordering::AcqRel) - 1;
+            debug_assert!(
+                val >= 0 || self.policy.join_underflow_ok(),
+                "join counter underflow on task {key} life {life}"
+            );
+            Ok(val == 0)
+        })();
+
+        match attempt {
+            Ok(true) => self.compute_and_notify(s, a, key, life),
+            Ok(false) => {}
+            Err(f) => P::on_guard_fault(self, s, f, key, life),
+        }
+    }
+
+    /// `NotifySuccessor(key, skey)`.
+    pub(super) fn notify_successor(self: &Arc<Self>, s: &Scope<'_>, key: Key, skey: Key) {
+        let Some((sd, slife)) = self.get_task(skey) else {
+            debug_assert!(false, "successor {skey} vanished from the task map");
+            return;
+        };
+        self.notify_once(s, sd, skey, key, slife);
+    }
+
+    /// `ComputeAndNotify(A, key, life)`: run the user compute, transition
+    /// to Computed, drain the notify array, transition to Completed.
+    pub(super) fn compute_and_notify(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: Arc<P::Desc>,
+        key: Key,
+        life: u64,
+    ) {
+        let worker = s.worker_index();
+        let attempt: Result<(), P::Err> = (|| {
+            P::check(&a)?;
+            let ctx = ComputeCtx::new(life, P::is_recovery_exec(&a), worker);
+            if let Err(f) = self.graph.compute(key, &ctx) {
+                return Err(P::compute_error(self, f));
+            }
+            // The compute ran to completion: count the work (even if the
+            // injection right below discards it — that is exactly the
+            // "work lost" the experiments measure).
+            self.metrics.record_compute(key);
+            self.policy.emit(worker, Event::Computed { key, life });
+            // Section VI "after compute" injection point: computed, about
+            // to notify successors. The guard right below observes it.
+            P::probe(self, &a, key, Phase::AfterCompute, worker);
+            P::check(&a)?;
+            a.set_status(Status::Computed);
+
+            let mut notified = 0usize;
+            loop {
+                P::check(&a)?;
+                let batch: Vec<Key> = {
+                    let g = a.notify().lock();
+                    g[notified..].to_vec()
+                };
+                for &skey in &batch {
+                    let this = Arc::clone(self);
+                    s.spawn(move |s| this.notify_successor(s, key, skey));
+                }
+                notified += batch.len();
+                let g = a.notify().lock();
+                if g.len() == notified {
+                    a.set_status(Status::Completed);
+                    drop(g);
+                    self.policy.emit(worker, Event::Completed { key, life });
+                    break;
+                }
+            }
+            // Section VI "after notify" injection point: only observed if a
+            // later consumer still touches this task or its data.
+            P::probe(self, &a, key, Phase::AfterNotify, worker);
+            Ok(())
+        })();
+
+        if let Err(f) = attempt {
+            P::on_compute_fault(self, s, a, key, life, f);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The fault-tolerant scheduler — Figure 2 with the shaded additions.
 //!
-//! Differences from [`super::baseline`], exactly as the paper introduces
-//! them:
+//! [`FtScheduler`] is [`Engine<FtRecovery>`]: the shared traversal of
+//! [`super::engine`] instantiated with the policy that restores every
+//! shaded line of Figure 2, exactly as the paper introduces them:
 //!
 //! * every descriptor/data access inside a traversal phase is guarded
 //!   (Cilk++ try/catch becomes `Result` + `match`);
@@ -16,28 +17,24 @@
 //! (before compute / after compute / after notify) by consulting the run's
 //! [`FaultPlan`].
 
+use super::engine::{Engine, FtPolicy};
 use crate::fault::{Fault, FaultKind};
-use crate::graph::{ComputeCtx, Key, TaskGraph};
+use crate::graph::{Key, TaskGraph};
 use crate::inject::{FaultPlan, Phase};
-use crate::metrics::{RunMetrics, RunReport};
 use crate::task::{FtDesc, Status};
 use crate::trace::{Event, Trace};
 use ft_cmap::ShardedMap;
-use ft_steal::pool::{Executor, Scope};
+use ft_steal::pool::Scope;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
-/// The fault-tolerant NABBIT scheduler.
-pub struct FtScheduler {
-    pub(super) graph: Arc<dyn TaskGraph>,
-    /// The task map: key → current incarnation.
-    pub(super) map: ShardedMap<Arc<FtDesc>>,
+/// The selective localized-recovery policy: guarded accesses, bit-vector
+/// notification gating, fault-injection probes, Figure-3 recovery.
+pub struct FtRecovery {
     /// The recovery table `R`: key → most recent life whose recovery has
     /// been initiated.
     pub(super) rtable: ShardedMap<u64>,
     pub(super) plan: Arc<FaultPlan>,
-    pub(super) metrics: RunMetrics,
     pub(super) trace: Option<Arc<Trace>>,
     /// Mutation-testing switch: when set, `notify_once` ignores the bit
     /// vector and decrements the join counter on every notification —
@@ -47,7 +44,170 @@ pub struct FtScheduler {
     pub(super) sabotage_notify: AtomicBool,
 }
 
-impl FtScheduler {
+impl FtRecovery {
+    fn new(plan: Arc<FaultPlan>, trace: Option<Arc<Trace>>) -> Self {
+        FtRecovery {
+            rtable: ShardedMap::with_shards(64),
+            plan,
+            trace,
+            sabotage_notify: AtomicBool::new(false),
+        }
+    }
+}
+
+impl FtPolicy for FtRecovery {
+    type Desc = FtDesc;
+    type Err = Fault;
+
+    fn make_desc(&self, graph: &dyn TaskGraph, key: Key) -> FtDesc {
+        FtDesc::new(key, 1, graph.predecessors(key))
+    }
+
+    #[inline]
+    fn emit(&self, worker: Option<usize>, event: Event) {
+        if let Some(t) = &self.trace {
+            t.record_from(worker, event);
+        }
+    }
+
+    #[inline]
+    fn check(d: &FtDesc) -> Result<(), Fault> {
+        d.check()
+    }
+
+    #[inline]
+    fn read_status(d: &FtDesc) -> Result<Status, Fault> {
+        d.try_status()
+    }
+
+    fn check_dependable(b: &FtDesc) -> Result<(), Fault> {
+        b.check()?;
+        if b.overwritten.load(Ordering::Acquire) {
+            // "if (B.overwritten) throw"
+            return Err(Fault {
+                source: b.key,
+                kind: FaultKind::Overwritten,
+                life: b.life,
+            });
+        }
+        Ok(())
+    }
+
+    /// Unset the bit for `pkey`; consume only if the bit was set.
+    fn consume_notification(
+        engine: &Engine<Self>,
+        a: &FtDesc,
+        key: Key,
+        pkey: Key,
+        life: u64,
+        worker: Option<usize>,
+    ) -> Result<bool, Fault> {
+        let ind = a
+            .pred_index(pkey)
+            .ok_or_else(|| Fault::descriptor(key, life))?;
+        let sabotaged = engine.policy.sabotage_notify.load(Ordering::Relaxed);
+        if a.bits.unset(ind) || sabotaged {
+            Ok(true)
+        } else {
+            // Duplicate notification absorbed (Guarantee 3).
+            engine.metrics.duplicate_notifications.add(worker);
+            engine.policy.emit(
+                worker,
+                Event::DuplicateNotify {
+                    key,
+                    life,
+                    pred: pkey,
+                },
+            );
+            Ok(false)
+        }
+    }
+
+    #[inline]
+    fn join_underflow_ok(&self) -> bool {
+        self.sabotage_notify.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn is_recovery_exec(d: &FtDesc) -> bool {
+        d.is_recovery.load(Ordering::Relaxed)
+    }
+
+    fn probe(engine: &Engine<Self>, a: &FtDesc, key: Key, phase: Phase, worker: Option<usize>) {
+        if engine.policy.plan.fire(key, phase) {
+            engine.poison_task(a, phase, worker);
+        }
+    }
+
+    fn compute_error(engine: &Engine<Self>, f: Fault) -> Fault {
+        engine
+            .metrics
+            .compute_faults
+            .fetch_add(1, Ordering::Relaxed);
+        if f.kind == FaultKind::Overwritten {
+            engine
+                .metrics
+                .overwrite_faults
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        f
+    }
+
+    /// catch { RecoverTaskOnce(key, life) }
+    fn on_guard_fault(engine: &Arc<Engine<Self>>, s: &Scope<'_>, f: Fault, key: Key, life: u64) {
+        engine.policy.emit(
+            s.worker_index(),
+            Event::FaultObserved {
+                source: f.source,
+                kind: f.kind,
+            },
+        );
+        engine.recover_task_once(s, key, life);
+    }
+
+    fn on_compute_fault(
+        engine: &Arc<Engine<Self>>,
+        s: &Scope<'_>,
+        a: Arc<FtDesc>,
+        key: Key,
+        life: u64,
+        f: Fault,
+    ) {
+        engine.policy.emit(
+            s.worker_index(),
+            Event::FaultObserved {
+                source: f.source,
+                kind: f.kind,
+            },
+        );
+        if f.source == key {
+            // "if (error in A) RecoverTaskOnce(key, life)"
+            engine.recover_task_once(s, key, life);
+        } else {
+            // Error in an input. Mark the source so other traversals
+            // observe the detected error ("once an error is detected, all
+            // subsequent accesses to that object will observe the error"),
+            // initiate its recovery, then process A anew.
+            let src_life = match engine.get_task(f.source) {
+                Some((src, sl)) => {
+                    match f.kind {
+                        FaultKind::Overwritten => src.overwritten.store(true, Ordering::Release),
+                        _ => src.poisoned.store(true, Ordering::Release),
+                    }
+                    sl
+                }
+                None => f.life.max(1),
+            };
+            engine.recover_task_once(s, f.source, src_life);
+            engine.reset_node(s, a, key, life);
+        }
+    }
+}
+
+/// The fault-tolerant NABBIT scheduler.
+pub type FtScheduler = Engine<FtRecovery>;
+
+impl Engine<FtRecovery> {
     /// Scheduler with no planned faults.
     pub fn new(graph: Arc<dyn TaskGraph>) -> Arc<Self> {
         Self::with_plan(graph, Arc::new(FaultPlan::none()))
@@ -55,15 +215,7 @@ impl FtScheduler {
 
     /// Scheduler with a fault-injection plan. One scheduler = one run.
     pub fn with_plan(graph: Arc<dyn TaskGraph>, plan: Arc<FaultPlan>) -> Arc<Self> {
-        Arc::new(FtScheduler {
-            graph,
-            map: ShardedMap::new(),
-            rtable: ShardedMap::with_shards(64),
-            plan,
-            metrics: RunMetrics::new(),
-            trace: None,
-            sabotage_notify: AtomicBool::new(false),
-        })
+        Engine::with_policy(graph, FtRecovery::new(plan, None))
     }
 
     /// Scheduler with a fault plan and an execution trace recorder.
@@ -72,15 +224,7 @@ impl FtScheduler {
         plan: Arc<FaultPlan>,
         trace: Arc<Trace>,
     ) -> Arc<Self> {
-        Arc::new(FtScheduler {
-            graph,
-            map: ShardedMap::new(),
-            rtable: ShardedMap::with_shards(64),
-            plan,
-            metrics: RunMetrics::new(),
-            trace: Some(trace),
-            sabotage_notify: AtomicBool::new(false),
-        })
+        Engine::with_policy(graph, FtRecovery::new(plan, Some(trace)))
     }
 
     /// Disable the Guarantee-3 bit-vector check (mutation testing only).
@@ -91,50 +235,12 @@ impl FtScheduler {
     /// G3 violation; see `tests/det_campaigns.rs`.
     #[doc(hidden)]
     pub fn sabotage_notify_bitvec(&self) {
-        self.sabotage_notify.store(true, Ordering::Relaxed);
-    }
-
-    /// Record a trace event if tracing is enabled.
-    #[inline]
-    pub(super) fn emit(&self, event: Event) {
-        if let Some(t) = &self.trace {
-            t.record(event);
-        }
-    }
-
-    /// Execute the task graph to completion on `exec` despite any faults
-    /// the plan injects; returns run statistics.
-    ///
-    /// Any [`Executor`] works: the multithreaded [`ft_steal::pool::Pool`]
-    /// (call sites pass `&pool` unchanged) or the deterministic
-    /// single-threaded `ft-det` pool for replayable schedule exploration.
-    pub fn run(self: &Arc<Self>, exec: &dyn Executor) -> RunReport {
-        let start = Instant::now();
-        let sink = self.graph.sink();
-        self.insert_if_absent(sink);
-        let (sd, life) = self.get_task(sink).expect("sink just inserted");
-        let this = Arc::clone(self);
-        exec.execute_job(Box::new(move |scope: &Scope<'_>| {
-            scope.spawn(move |s| this.init_and_compute(s, sd, sink, life));
-        }));
-        let mut report = self.metrics.snapshot();
-        report.sink_completed = self
-            .map
-            .get(sink)
-            .map(|d| d.status() == Status::Completed)
-            .unwrap_or(false);
-        report.elapsed = start.elapsed();
-        report
-    }
-
-    /// Number of distinct task keys ever inserted (diagnostics).
-    pub fn tasks_created(&self) -> usize {
-        self.map.len()
+        self.policy.sabotage_notify.store(true, Ordering::Relaxed);
     }
 
     /// Number of entries in the recovery table (≥1 failure observed).
     pub fn recovery_table_len(&self) -> usize {
-        self.rtable.len()
+        self.policy.rtable.len()
     }
 
     /// Per-task execution counts N(A) after a run (Section V's `N`
@@ -143,294 +249,26 @@ impl FtScheduler {
         self.metrics.exec_counts.entries()
     }
 
-    /// Borrow the task graph this scheduler runs.
-    pub fn graph_ref(&self) -> &dyn TaskGraph {
-        self.graph.as_ref()
-    }
-
-    /// `InsertTaskIfAbsent`.
-    pub(super) fn insert_if_absent(&self, key: Key) -> bool {
-        let inserted = self.map.insert_if_absent(key, || {
-            Arc::new(FtDesc::new(key, 1, self.graph.predecessors(key)))
-        });
-        if inserted {
-            self.emit(Event::Inserted { key });
-        }
-        inserted
-    }
-
-    /// `GetTask`: current incarnation and its life number.
-    pub(super) fn get_task(&self, key: Key) -> Option<(Arc<FtDesc>, u64)> {
-        self.map.get(key).map(|d| {
-            let life = d.life;
-            (d, life)
-        })
-    }
-
     /// Poison a task: descriptor flag plus every output block version ("a
     /// fault affects both a task and the data blocks it has computed").
-    pub(super) fn poison_task(&self, desc: &FtDesc, phase: Phase) {
+    pub(super) fn poison_task(&self, desc: &FtDesc, phase: Phase, worker: Option<usize>) {
         desc.poisoned.store(true, Ordering::Release);
         self.graph.poison_outputs(desc.key);
         self.metrics.injected.fetch_add(1, Ordering::Relaxed);
-        self.emit(Event::Injected {
-            key: desc.key,
-            phase,
-        });
-    }
-
-    /// `InitAndCompute(A, key, life)`.
-    pub(super) fn init_and_compute(
-        self: &Arc<Self>,
-        s: &Scope<'_>,
-        a: Arc<FtDesc>,
-        key: Key,
-        life: u64,
-    ) {
-        for pkey in a.preds.clone() {
-            let this = Arc::clone(self);
-            let a2 = Arc::clone(&a);
-            s.spawn(move |s| this.try_init_compute(s, a2, key, life, pkey));
-        }
-        // Section VI "before compute" injection point: the task "has
-        // traversed its predecessors and is waiting for one or more
-        // notifications to be scheduled for execution".
-        if self.plan.fire(key, Phase::BeforeCompute) {
-            self.poison_task(&a, Phase::BeforeCompute);
-        }
-        self.notify_once(s, a, key, key, life);
-    }
-
-    /// `TryInitCompute(A, key, life, pkey)`.
-    pub(super) fn try_init_compute(
-        self: &Arc<Self>,
-        s: &Scope<'_>,
-        a: Arc<FtDesc>,
-        key: Key,
-        life: u64,
-        pkey: Key,
-    ) {
-        let inserted = self.insert_if_absent(pkey);
-        let Some((b, blife)) = self.get_task(pkey) else {
-            return;
-        };
-        if inserted {
-            let this = Arc::clone(self);
-            let b2 = Arc::clone(&b);
-            s.spawn(move |s| this.init_and_compute(s, b2, pkey, blife));
-        }
-
-        // try { check B; register or observe completion }
-        let attempt: Result<bool, Fault> = (|| {
-            b.check()?;
-            if b.overwritten.load(Ordering::Acquire) {
-                // "if (B.overwritten) throw"
-                return Err(Fault {
-                    source: pkey,
-                    kind: FaultKind::Overwritten,
-                    life: blife,
-                });
-            }
-            let finished = {
-                // Status read under B's notify lock (pairs with the locked
-                // re-check in compute_and_notify).
-                let mut g = b.notify.lock();
-                if b.status() < Status::Computed {
-                    g.push(key);
-                    false
-                } else {
-                    true
-                }
-            };
-            Ok(finished)
-        })();
-
-        match attempt {
-            Ok(true) => self.notify_once(s, a, key, pkey, life),
-            Ok(false) => {}
-            Err(f) => {
-                // catch { RecoverTaskOnce(pkey, blife) }. A is *not*
-                // registered with B; B's recovery re-enqueues A via
-                // ReinitNotifyEntry (A's bit for B is still set).
-                self.emit(Event::FaultObserved {
-                    source: f.source,
-                    kind: f.kind,
-                });
-                self.recover_task_once(s, pkey, blife);
-            }
-        }
-    }
-
-    /// `NotifyOnce(A, key, pkey, life)`: unset the bit for `pkey`; decrement
-    /// the join counter only if the bit was set; execute A at zero.
-    pub(super) fn notify_once(
-        self: &Arc<Self>,
-        s: &Scope<'_>,
-        a: Arc<FtDesc>,
-        key: Key,
-        pkey: Key,
-        life: u64,
-    ) {
-        let attempt: Result<bool, Fault> = (|| {
-            a.check()?;
-            let ind = a
-                .pred_index(pkey)
-                .ok_or_else(|| Fault::descriptor(key, life))?;
-            let sabotaged = self.sabotage_notify.load(Ordering::Relaxed);
-            if a.bits.unset(ind) || sabotaged {
-                self.metrics.notifications.fetch_add(1, Ordering::Relaxed);
-                self.emit(Event::Notified {
-                    key,
-                    life,
-                    pred: pkey,
-                });
-                let val = a.join.fetch_sub(1, Ordering::AcqRel) - 1;
-                debug_assert!(
-                    val >= 0 || sabotaged,
-                    "join underflow on task {key} life {life}"
-                );
-                Ok(val == 0)
-            } else {
-                // Duplicate notification absorbed (Guarantee 3).
-                self.metrics
-                    .duplicate_notifications
-                    .fetch_add(1, Ordering::Relaxed);
-                self.emit(Event::DuplicateNotify {
-                    key,
-                    life,
-                    pred: pkey,
-                });
-                Ok(false)
-            }
-        })();
-
-        match attempt {
-            Ok(true) => self.compute_and_notify(s, a, key, life),
-            Ok(false) => {}
-            Err(f) => {
-                self.emit(Event::FaultObserved {
-                    source: f.source,
-                    kind: f.kind,
-                });
-                self.recover_task_once(s, key, life);
-            }
-        }
-    }
-
-    /// `NotifySuccessor(key, skey)`.
-    pub(super) fn notify_successor(self: &Arc<Self>, s: &Scope<'_>, key: Key, skey: Key) {
-        let Some((sd, slife)) = self.get_task(skey) else {
-            return;
-        };
-        self.notify_once(s, sd, skey, key, slife);
-    }
-
-    /// `ComputeAndNotify(A, key, life)`.
-    pub(super) fn compute_and_notify(
-        self: &Arc<Self>,
-        s: &Scope<'_>,
-        a: Arc<FtDesc>,
-        key: Key,
-        life: u64,
-    ) {
-        let attempt: Result<(), Fault> = (|| {
-            a.check()?;
-            let ctx = ComputeCtx::new(
-                life,
-                a.is_recovery.load(Ordering::Relaxed),
-                s.worker_index(),
-            );
-            if let Err(f) = self.graph.compute(key, &ctx) {
-                self.metrics.compute_faults.fetch_add(1, Ordering::Relaxed);
-                if f.kind == FaultKind::Overwritten {
-                    self.metrics
-                        .overwrite_faults
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-                return Err(f);
-            }
-            // The compute ran to completion: count the work (even if the
-            // injection right below discards it — that is exactly the
-            // "work lost" the experiments measure).
-            self.metrics.record_compute(key);
-            self.emit(Event::Computed { key, life });
-            // Section VI "after compute" injection point: computed, about
-            // to notify successors. The guard right below observes it.
-            if self.plan.fire(key, Phase::AfterCompute) {
-                self.poison_task(&a, Phase::AfterCompute);
-            }
-            a.check()?;
-            a.set_status(Status::Computed);
-
-            let mut notified = 0usize;
-            loop {
-                a.check()?;
-                let batch: Vec<Key> = {
-                    let g = a.notify.lock();
-                    g[notified..].to_vec()
-                };
-                for &skey in &batch {
-                    let this = Arc::clone(self);
-                    s.spawn(move |s| this.notify_successor(s, key, skey));
-                }
-                notified += batch.len();
-                let g = a.notify.lock();
-                if g.len() == notified {
-                    a.set_status(Status::Completed);
-                    drop(g);
-                    self.emit(Event::Completed { key, life });
-                    break;
-                }
-            }
-            // Section VI "after notify" injection point: only observed if a
-            // later consumer still touches this task or its data.
-            if self.plan.fire(key, Phase::AfterNotify) {
-                self.poison_task(&a, Phase::AfterNotify);
-            }
-            Ok(())
-        })();
-
-        match attempt {
-            Ok(()) => {}
-            Err(f) if f.source == key => {
-                // "if (error in A) RecoverTaskOnce(key, life)"
-                self.emit(Event::FaultObserved {
-                    source: f.source,
-                    kind: f.kind,
-                });
-                self.recover_task_once(s, key, life);
-            }
-            Err(f) => {
-                self.emit(Event::FaultObserved {
-                    source: f.source,
-                    kind: f.kind,
-                });
-                // Error in an input. Mark the source so other traversals
-                // observe the detected error ("once an error is detected,
-                // all subsequent accesses to that object will observe the
-                // error"), initiate its recovery, then process A anew.
-                let src_life = match self.get_task(f.source) {
-                    Some((src, sl)) => {
-                        match f.kind {
-                            FaultKind::Overwritten => {
-                                src.overwritten.store(true, Ordering::Release)
-                            }
-                            _ => src.poisoned.store(true, Ordering::Release),
-                        }
-                        sl
-                    }
-                    None => f.life.max(1),
-                };
-                self.recover_task_once(s, f.source, src_life);
-                self.reset_node(s, a, key, life);
-            }
-        }
+        self.policy.emit(
+            worker,
+            Event::Injected {
+                key: desc.key,
+                phase,
+            },
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::ComputeCtx;
     use ft_steal::pool::{Pool, PoolConfig};
     use parking_lot::Mutex;
     use std::collections::HashSet;
@@ -663,5 +501,24 @@ mod tests {
         assert_eq!(report.injected, 64);
         assert_eq!(report.distinct_tasks_executed, 64);
         assert_eq!(report.re_executions, 0, "no computed work was lost");
+    }
+
+    #[test]
+    fn corrupt_status_byte_is_detected_and_recovered() {
+        // Satellite: a smashed status byte must surface as a descriptor
+        // fault, not a spuriously finished task. Poison the sink's status
+        // byte after the run and check the engine's view of completion.
+        let g = Arc::new(Grid::new(4));
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let sched = FtScheduler::new(Arc::clone(&g) as _);
+        let report = sched.run(&pool);
+        assert!(report.sink_completed);
+        let (sd, _) = sched.get_task(g.sink()).unwrap();
+        sd.status.store(0xEE, std::sync::atomic::Ordering::Release);
+        assert!(sd.try_status().is_err(), "smashed byte is a detected fault");
+        // Re-reading completion must *not* decode the corrupt byte as
+        // Completed (the old `from_u8` mapped any garbage to Completed).
+        let report2 = sched.run(&pool);
+        assert!(!report2.sink_completed);
     }
 }

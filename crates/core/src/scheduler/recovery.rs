@@ -1,4 +1,7 @@
-//! The recovery routines of Figure 3.
+//! The recovery routines of Figure 3, as inherent methods on
+//! [`Engine<FtRecovery>`] — the catch blocks of the generic traversal
+//! dispatch here through [`FtPolicy`](super::engine::FtPolicy)'s
+//! `on_guard_fault` / `on_compute_fault` hooks.
 //!
 //! * `RecoverTaskOnce` / `IsRecovering` — Guarantee 1: each failure is
 //!   recovered at most once, arbitrated through the recovery table `R`
@@ -12,7 +15,8 @@
 //! * `ResetNode` — Guarantee 5 support: a task whose *input* failed resets
 //!   its join counter and bit vector and re-traverses its predecessors.
 
-use super::ft::FtScheduler;
+use super::engine::{Engine, FtPolicy};
+use super::ft::FtRecovery;
 use crate::fault::Fault;
 use crate::graph::Key;
 use crate::task::{FtDesc, Status};
@@ -21,7 +25,7 @@ use ft_steal::pool::Scope;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-impl FtScheduler {
+impl Engine<FtRecovery> {
     /// `RecoverTaskOnce(key, life)`.
     pub(super) fn recover_task_once(self: &Arc<Self>, s: &Scope<'_>, key: Key, life: u64) {
         if !self.is_recovering(key, life) {
@@ -30,7 +34,8 @@ impl FtScheduler {
             self.metrics
                 .recoveries_suppressed
                 .fetch_add(1, Ordering::Relaxed);
-            self.emit(Event::RecoverySuppressed { key, life });
+            self.policy
+                .emit(s.worker_index(), Event::RecoverySuppressed { key, life });
         }
     }
 
@@ -42,7 +47,7 @@ impl FtScheduler {
     /// `life − 1` to `life` (first observer of *this* incarnation's failure
     /// → caller recovers). Both arms are one atomic read-modify-write here.
     pub(super) fn is_recovering(&self, key: Key, life: u64) -> bool {
-        self.rtable.update_cas(key, |cur| match cur {
+        self.policy.rtable.update_cas(key, |cur| match cur {
             None => (Some(life), false),
             Some(&stored) if stored + 1 == life => (Some(life), false),
             Some(_) => (None, true),
@@ -69,10 +74,13 @@ impl FtScheduler {
             self.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
             let (t, life) = self.replace_task(key);
             t.is_recovery.store(true, Ordering::Release);
-            self.emit(Event::RecoveryStarted {
-                key,
-                new_life: life,
-            });
+            self.policy.emit(
+                s.worker_index(),
+                Event::RecoveryStarted {
+                    key,
+                    new_life: life,
+                },
+            );
 
             let attempt: Result<(), Fault> = (|| {
                 // "traverse successors to recreate notify arr."
@@ -97,15 +105,19 @@ impl FtScheduler {
                     // "if (!IsRecovering(key, life)) success = false":
                     // we claim the new incarnation's failure and retry;
                     // otherwise someone else owns it and we are done.
-                    self.emit(Event::FaultObserved {
-                        source: f.source,
-                        kind: f.kind,
-                    });
+                    self.policy.emit(
+                        s.worker_index(),
+                        Event::FaultObserved {
+                            source: f.source,
+                            kind: f.kind,
+                        },
+                    );
                     if self.is_recovering(key, life) {
                         self.metrics
                             .recoveries_suppressed
                             .fetch_add(1, Ordering::Relaxed);
-                        self.emit(Event::RecoverySuppressed { key, life });
+                        self.policy
+                            .emit(s.worker_index(), Event::RecoverySuppressed { key, life });
                         return;
                     }
                 }
@@ -131,8 +143,9 @@ impl FtScheduler {
     ) -> Result<(), Fault> {
         let attempt: Result<(), Fault> = (|| {
             sd.check()?;
-            // "ignore Computed and Completed tasks"
-            if sd.status() != Status::Visited {
+            // "ignore Computed and Completed tasks" — a corrupt status
+            // byte in S counts as an error in S.
+            if sd.try_status()? != Status::Visited {
                 return Ok(());
             }
             let ind = sd
@@ -147,10 +160,13 @@ impl FtScheduler {
 
         match attempt {
             Err(f) if f.source == skey => {
-                self.emit(Event::FaultObserved {
-                    source: f.source,
-                    kind: f.kind,
-                });
+                self.policy.emit(
+                    s.worker_index(),
+                    Event::FaultObserved {
+                        source: f.source,
+                        kind: f.kind,
+                    },
+                );
                 self.recover_task_once(s, skey, slife);
                 Ok(())
             }
@@ -164,7 +180,8 @@ impl FtScheduler {
     /// lost (a decrement can only happen after its bit is re-set).
     pub(super) fn reset_node(self: &Arc<Self>, s: &Scope<'_>, a: Arc<FtDesc>, key: Key, life: u64) {
         self.metrics.resets.fetch_add(1, Ordering::Relaxed);
-        self.emit(Event::Reset { key, life });
+        self.policy
+            .emit(s.worker_index(), Event::Reset { key, life });
         let attempt: Result<(), Fault> = (|| {
             a.check()?;
             a.reset_for_reexploration();
@@ -173,10 +190,13 @@ impl FtScheduler {
         match attempt {
             Ok(()) => self.init_and_compute(s, a, key, life),
             Err(f) => {
-                self.emit(Event::FaultObserved {
-                    source: f.source,
-                    kind: f.kind,
-                });
+                self.policy.emit(
+                    s.worker_index(),
+                    Event::FaultObserved {
+                        source: f.source,
+                        kind: f.kind,
+                    },
+                );
                 self.recover_task_once(s, key, life);
             }
         }
@@ -188,6 +208,7 @@ mod tests {
     use super::*;
     use crate::graph::{ComputeCtx, TaskGraph};
     use crate::inject::FaultPlan;
+    use crate::scheduler::FtScheduler;
 
     struct Tiny;
     impl TaskGraph for Tiny {
@@ -242,14 +263,14 @@ mod tests {
     #[test]
     fn replace_task_bumps_life() {
         let sch = scheduler();
-        sch.insert_if_absent(0);
+        sch.insert_if_absent(0, None);
         let (d1, l1) = sch.get_task(0).unwrap();
         assert_eq!(l1, 1);
         d1.poisoned.store(true, Ordering::Release);
         let (d2, l2) = sch.replace_task(0);
         assert_eq!(l2, 2);
         assert!(d2.check().is_ok(), "fresh incarnation is clean");
-        assert_eq!(d2.status(), Status::Visited);
+        assert_eq!(d2.try_status().unwrap(), Status::Visited);
         let (cur, l) = sch.get_task(0).unwrap();
         assert_eq!(l, 2);
         assert!(Arc::ptr_eq(&cur, &d2));

@@ -8,11 +8,13 @@
 //! Two descriptor types exist so the baseline scheduler (Figure 2,
 //! non-shaded) carries **zero** fault-tolerance state — the paper's
 //! "baseline version includes no additional data structures or statements
-//! introduced for fault tolerance".
+//! introduced for fault tolerance". The shared traversal engine sees both
+//! through the [`Descriptor`] trait.
 
 use crate::bitvec::AtomicBitVec;
 use crate::fault::Fault;
 use crate::graph::Key;
+use crate::scheduler::engine::Descriptor;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
 
@@ -29,11 +31,16 @@ pub enum Status {
 }
 
 impl Status {
-    fn from_u8(v: u8) -> Status {
+    /// Decode a raw status byte; `None` if the byte holds none of the
+    /// three legal values — a smashed status, which the FT scheduler
+    /// surfaces as a descriptor fault rather than a spuriously finished
+    /// task.
+    pub fn from_u8(v: u8) -> Option<Status> {
         match v {
-            0 => Status::Visited,
-            1 => Status::Computed,
-            _ => Status::Completed,
+            0 => Some(Status::Visited),
+            1 => Some(Status::Computed),
+            2 => Some(Status::Completed),
+            _ => None,
         }
     }
 }
@@ -43,7 +50,8 @@ pub struct BaseDesc {
     /// Task key.
     pub key: Key,
     /// Ordered immediate predecessors (cached at creation; `Init(A)`).
-    pub preds: Vec<Key>,
+    /// A boxed slice: the traversal iterates it by reference, never clones.
+    pub preds: Box<[Key]>,
     /// Join counter, initialized to `|preds)| + 1` (the +1 is consumed by
     /// the self-notification at the end of `InitAndCompute`).
     pub join: AtomicI64,
@@ -59,21 +67,42 @@ impl BaseDesc {
         let join = preds.len() as i64 + 1;
         BaseDesc {
             key,
-            preds,
+            preds: preds.into_boxed_slice(),
             join: AtomicI64::new(join),
             status: AtomicU8::new(Status::Visited as u8),
             notify: Mutex::new(Vec::new()),
         }
     }
 
-    /// Current status.
+    /// Current status. The baseline has no fault model, so a corrupt
+    /// status byte (impossible without injection) is a panic, never a
+    /// silent `Completed`.
     pub fn status(&self) -> Status {
         Status::from_u8(self.status.load(Ordering::Acquire))
+            .expect("corrupt status byte — the baseline scheduler has no fault model")
     }
 
     /// Store a new status.
     pub fn set_status(&self, s: Status) {
         self.status.store(s as u8, Ordering::Release);
+    }
+}
+
+impl Descriptor for BaseDesc {
+    fn life(&self) -> u64 {
+        1
+    }
+    fn preds(&self) -> &[Key] {
+        &self.preds
+    }
+    fn join(&self) -> &AtomicI64 {
+        &self.join
+    }
+    fn notify(&self) -> &Mutex<Vec<Key>> {
+        &self.notify
+    }
+    fn set_status(&self, s: Status) {
+        BaseDesc::set_status(self, s);
     }
 }
 
@@ -84,8 +113,8 @@ pub struct FtDesc {
     /// Life number of this incarnation (1 = original; recovery replaces the
     /// map entry with a descriptor of life+1).
     pub life: u64,
-    /// Ordered immediate predecessors.
-    pub preds: Vec<Key>,
+    /// Ordered immediate predecessors (boxed slice, iterated by reference).
+    pub preds: Box<[Key]>,
     /// Join counter (`|preds| + 1`, self-notification included).
     pub join: AtomicI64,
     /// Execution status.
@@ -113,7 +142,7 @@ impl FtDesc {
         FtDesc {
             key,
             life,
-            preds,
+            preds: preds.into_boxed_slice(),
             join: AtomicI64::new(n as i64 + 1),
             status: AtomicU8::new(Status::Visited as u8),
             notify: Mutex::new(Vec::new()),
@@ -124,9 +153,12 @@ impl FtDesc {
         }
     }
 
-    /// Current status.
-    pub fn status(&self) -> Status {
+    /// Guarded status read: a byte outside the three legal values means
+    /// the descriptor was corrupted, and surfaces as a descriptor fault
+    /// exactly like a poisoned flag.
+    pub fn try_status(&self) -> Result<Status, Fault> {
         Status::from_u8(self.status.load(Ordering::Acquire))
+            .ok_or_else(|| Fault::descriptor(self.key, self.life))
     }
 
     /// Store a new status.
@@ -168,6 +200,24 @@ impl FtDesc {
     }
 }
 
+impl Descriptor for FtDesc {
+    fn life(&self) -> u64 {
+        self.life
+    }
+    fn preds(&self) -> &[Key] {
+        &self.preds
+    }
+    fn join(&self) -> &AtomicI64 {
+        &self.join
+    }
+    fn notify(&self) -> &Mutex<Vec<Key>> {
+        &self.notify
+    }
+    fn set_status(&self, s: Status) {
+        FtDesc::set_status(self, s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +247,34 @@ mod tests {
         // "if (B.status < Computed)" relies on Visited < Computed < Completed.
         assert!(Status::Visited < Status::Computed);
         assert!(Status::Computed < Status::Completed);
+    }
+
+    #[test]
+    fn from_u8_rejects_garbage() {
+        assert_eq!(Status::from_u8(0), Some(Status::Visited));
+        assert_eq!(Status::from_u8(1), Some(Status::Computed));
+        assert_eq!(Status::from_u8(2), Some(Status::Completed));
+        for v in 3..=255u8 {
+            assert_eq!(Status::from_u8(v), None, "byte {v} must not decode");
+        }
+    }
+
+    #[test]
+    fn ft_corrupt_status_byte_is_a_descriptor_fault() {
+        let d = FtDesc::new(7, 3, vec![1]);
+        assert_eq!(d.try_status().unwrap(), Status::Visited);
+        d.status.store(0xAB, Ordering::Release);
+        let err = d.try_status().unwrap_err();
+        assert_eq!(err.source, 7);
+        assert_eq!(err.life, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt status byte")]
+    fn base_corrupt_status_byte_panics() {
+        let d = BaseDesc::new(1, vec![]);
+        d.status.store(0xFF, Ordering::Release);
+        let _ = d.status();
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! predecessors, recoveries per incarnation are unique); and the experiment
 //! harness can dump traces for post-mortem inspection of fault campaigns.
 //!
-//! Recording is append-only into per-worker shards (selected by thread id)
-//! to keep contention off the hot path; `None` (the default) costs a single
-//! branch.
+//! Recording is append-only into per-worker shards — the scheduler engine
+//! passes the executor's worker index to [`Trace::record_from`], so two
+//! workers never contend on the same shard lock; `None` (the default)
+//! costs a single branch.
 
 use crate::fault::FaultKind;
 use crate::graph::Key;
@@ -140,17 +141,43 @@ impl Trace {
         }
     }
 
-    /// Record an event (thread-sharded; ordering across shards is by the
-    /// global sequence number assigned here).
+    /// Record an event from an unknown thread (falls back to a per-thread
+    /// shard assignment; ordering across shards is by the global sequence
+    /// number).
     pub fn record(&self, event: Event) {
+        self.record_from(None, event);
+    }
+
+    /// Record an event from worker `worker`: the shard is the worker
+    /// index, so pool workers never contend on a shard lock. `None`
+    /// (non-pool threads) gets a lazily assigned per-thread shard.
+    pub fn record_from(&self, worker: Option<usize>, event: Event) {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
         let t_ns = self.start.elapsed().as_nanos() as u64;
-        // Cheap shard selection by thread identity.
-        let tid = std::thread::current().id();
-        let mut hasher_input = format!("{tid:?}").len();
-        hasher_input = hasher_input.wrapping_mul(31).wrapping_add(t_ns as usize);
-        let shard = hasher_input % SHARDS;
-        self.shards[shard].lock().push(TimedEvent { seq, t_ns, event });
+        let shard = worker.map_or_else(Self::thread_shard, |w| w % SHARDS);
+        self.shards[shard]
+            .lock()
+            .push(TimedEvent { seq, t_ns, event });
+    }
+
+    /// Round-robin shard assignment for threads outside the worker pool,
+    /// cached in a thread-local (no per-event formatting or hashing).
+    fn thread_shard() -> usize {
+        use std::cell::Cell;
+        use std::sync::atomic::AtomicUsize;
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        thread_local! {
+            static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        SHARD.with(|c| {
+            let cached = c.get();
+            if cached != usize::MAX {
+                return cached;
+            }
+            let s = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            c.set(s);
+            s
+        })
     }
 
     /// All events, in the total order of emission (by sequence number).

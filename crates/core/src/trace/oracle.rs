@@ -106,7 +106,7 @@ pub fn check_trace(
     // G5/G6 bookkeeping.
     let mut observed_sources: Vec<(u64, Key)> = Vec::new(); // (seq, source) awaiting recovery/suppression
     let mut recovery_event_seqs: HashMap<Key, Vec<u64>> = HashMap::new(); // Started or Suppressed
-    // Counters for report cross-checks.
+                                                                          // Counters for report cross-checks.
     let mut n_computed = 0u64;
     let mut n_completed = 0u64;
     let mut n_notified = 0u64;
@@ -259,9 +259,9 @@ pub fn check_trace(
                 n_reset += 1;
                 // G5: a reset must be caused by an observed fault in some
                 // *other* task (the failed input).
-                let caused = events[..i].iter().any(|p| {
-                    matches!(p.event, Event::FaultObserved { source, .. } if source != key)
-                });
+                let caused = events[..i].iter().any(
+                    |p| matches!(p.event, Event::FaultObserved { source, .. } if source != key),
+                );
                 if !caused {
                     push(
                         "G5",
@@ -540,11 +540,32 @@ mod tests {
         vec![
             ev(0, Event::Inserted { key: 1 }),
             ev(1, Event::Inserted { key: 0 }),
-            ev(2, Event::Notified { key: 0, life: 1, pred: 0 }),
+            ev(
+                2,
+                Event::Notified {
+                    key: 0,
+                    life: 1,
+                    pred: 0,
+                },
+            ),
             ev(3, Event::Computed { key: 0, life: 1 }),
             ev(4, Event::Completed { key: 0, life: 1 }),
-            ev(5, Event::Notified { key: 1, life: 1, pred: 0 }),
-            ev(6, Event::Notified { key: 1, life: 1, pred: 1 }),
+            ev(
+                5,
+                Event::Notified {
+                    key: 1,
+                    life: 1,
+                    pred: 0,
+                },
+            ),
+            ev(
+                6,
+                Event::Notified {
+                    key: 1,
+                    life: 1,
+                    pred: 1,
+                },
+            ),
             ev(7, Event::Computed { key: 1, life: 1 }),
             ev(8, Event::Completed { key: 1, life: 1 }),
         ]
@@ -554,8 +575,9 @@ mod tests {
         let m = RunMetrics::new();
         m.record_compute(0);
         m.record_compute(1);
-        m.notifications
-            .store(3, std::sync::atomic::Ordering::Relaxed);
+        for _ in 0..3 {
+            m.notifications.add(None);
+        }
         let mut r = m.snapshot();
         r.sink_completed = true;
         r
@@ -576,7 +598,17 @@ mod tests {
     fn duplicate_decrement_is_g3() {
         let mut t = clean_chain_trace();
         // Same (key, life, pred) notified twice — the bit vector failed.
-        t.insert(6, ev(5, Event::Notified { key: 1, life: 1, pred: 0 }));
+        t.insert(
+            6,
+            ev(
+                5,
+                Event::Notified {
+                    key: 1,
+                    life: 1,
+                    pred: 0,
+                },
+            ),
+        );
         let mut r = matching_report();
         r.notifications += 1;
         let v = check_trace(&Chain, &t, &r, OracleMode::Concurrent);
@@ -588,11 +620,25 @@ mod tests {
         let t = vec![
             ev(0, Event::Inserted { key: 1 }),
             ev(1, Event::Inserted { key: 0 }),
-            ev(2, Event::Notified { key: 0, life: 1, pred: 0 }),
+            ev(
+                2,
+                Event::Notified {
+                    key: 0,
+                    life: 1,
+                    pred: 0,
+                },
+            ),
             ev(3, Event::Computed { key: 0, life: 1 }),
             ev(4, Event::Completed { key: 0, life: 1 }),
             // Sink computes after only one of its two required notifies.
-            ev(5, Event::Notified { key: 1, life: 1, pred: 0 }),
+            ev(
+                5,
+                Event::Notified {
+                    key: 1,
+                    life: 1,
+                    pred: 0,
+                },
+            ),
             ev(6, Event::Computed { key: 1, life: 1 }),
             ev(7, Event::Completed { key: 1, life: 1 }),
         ];
@@ -605,9 +651,27 @@ mod tests {
     #[test]
     fn double_recovery_same_life_is_g1() {
         let mut t = clean_chain_trace();
-        t.push(ev(9, Event::FaultObserved { source: 0, kind: FaultKind::Descriptor }));
-        t.push(ev(10, Event::RecoveryStarted { key: 0, new_life: 2 }));
-        t.push(ev(11, Event::RecoveryStarted { key: 0, new_life: 2 }));
+        t.push(ev(
+            9,
+            Event::FaultObserved {
+                source: 0,
+                kind: FaultKind::Descriptor,
+            },
+        ));
+        t.push(ev(
+            10,
+            Event::RecoveryStarted {
+                key: 0,
+                new_life: 2,
+            },
+        ));
+        t.push(ev(
+            11,
+            Event::RecoveryStarted {
+                key: 0,
+                new_life: 2,
+            },
+        ));
         let mut r = matching_report();
         r.recoveries = 2;
         let v = check_trace(&Chain, &t, &r, OracleMode::Concurrent);
@@ -617,10 +681,22 @@ mod tests {
     #[test]
     fn stale_incarnation_recovery_is_g2() {
         let mut t = clean_chain_trace();
-        t.push(ev(9, Event::FaultObserved { source: 0, kind: FaultKind::Descriptor }));
+        t.push(ev(
+            9,
+            Event::FaultObserved {
+                source: 0,
+                kind: FaultKind::Descriptor,
+            },
+        ));
         // Skips life 2: not a fresh incarnation. (Strict-only: emission
         // order around replace_task is not authoritative on a pool.)
-        t.push(ev(10, Event::RecoveryStarted { key: 0, new_life: 3 }));
+        t.push(ev(
+            10,
+            Event::RecoveryStarted {
+                key: 0,
+                new_life: 3,
+            },
+        ));
         let mut r = matching_report();
         r.recoveries = 1;
         let v = check_trace(&Chain, &t, &r, OracleMode::Strict);
@@ -640,7 +716,13 @@ mod tests {
     #[test]
     fn unhandled_fault_is_g6() {
         let mut t = clean_chain_trace();
-        t.push(ev(9, Event::FaultObserved { source: 0, kind: FaultKind::Data }));
+        t.push(ev(
+            9,
+            Event::FaultObserved {
+                source: 0,
+                kind: FaultKind::Data,
+            },
+        ));
         let v = check_trace(&Chain, &t, &matching_report(), OracleMode::Concurrent);
         assert!(v.iter().any(|v| v.guarantee == "G6"), "got {v:?}");
     }

@@ -43,7 +43,13 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, 10, Duration::from_secs(3), Duration::from_secs(1), &mut f);
+        run_one(
+            id,
+            10,
+            Duration::from_secs(3),
+            Duration::from_secs(1),
+            &mut f,
+        );
         self
     }
 }
@@ -97,7 +103,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark a routine parameterized by `input`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -116,7 +127,13 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, self.sample_size, self.measurement_time, self.warm_up_time, &mut f);
+        run_one(
+            id,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
         self
     }
 
@@ -133,8 +150,16 @@ fn run_one(
 ) {
     let mut b = Bencher {
         samples: Vec::new(),
-        budget: if test_mode() { None } else { Some(measurement_time) },
-        warm_up: if test_mode() { Duration::ZERO } else { warm_up_time },
+        budget: if test_mode() {
+            None
+        } else {
+            Some(measurement_time)
+        },
+        warm_up: if test_mode() {
+            Duration::ZERO
+        } else {
+            warm_up_time
+        },
         sample_size: if test_mode() { 1 } else { sample_size },
     };
     f(&mut b);

@@ -33,8 +33,7 @@ fn main() {
         let dag = Arc::new(ValueDag::generate(&shape, 42));
         let keys = dag.all_keys();
         let plan = Arc::new(FaultPlan::sample(&keys, 2, Phase::AfterCompute, 5));
-        let (_, trace, report) =
-            det_traced_run(dag as Arc<dyn TaskGraph>, plan, schedule_seed);
+        let (_, trace, report) = det_traced_run(dag as Arc<dyn TaskGraph>, plan, schedule_seed);
         assert!(report.sink_completed);
         (trace.events(), report)
     };
@@ -42,8 +41,14 @@ fn main() {
     let (run_a, report) = events_of(seed);
     let (run_b, _) = events_of(seed);
     let (run_c, _) = events_of(seed + 1);
-    let same = run_a.iter().map(|e| e.event).eq(run_b.iter().map(|e| e.event));
-    let differs = !run_a.iter().map(|e| e.event).eq(run_c.iter().map(|e| e.event));
+    let same = run_a
+        .iter()
+        .map(|e| e.event)
+        .eq(run_b.iter().map(|e| e.event));
+    let differs = !run_a
+        .iter()
+        .map(|e| e.event)
+        .eq(run_c.iter().map(|e| e.event));
     println!(
         "seed {seed}: {} events, {} recoveries; replay identical: {same}; \
          seed {} schedules differently: {differs}",
@@ -83,7 +88,11 @@ fn main() {
                     events: &events,
                 };
                 let path = failure.write_to(&failure_dump_dir()).expect("dump");
-                println!("seed {s}: {} violation(s), e.g. {}", violations.len(), violations[0]);
+                println!(
+                    "seed {s}: {} violation(s), e.g. {}",
+                    violations.len(),
+                    violations[0]
+                );
                 dumped = Some(path);
             }
         }

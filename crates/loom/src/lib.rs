@@ -77,7 +77,9 @@ where
         YIELD_RNG.with(|c| c.set(seed | 1));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
         if let Err(payload) = result {
-            eprintln!("[loom shim] model failed at iteration {i} (LOOM_SEED={base}, derived seed {seed})");
+            eprintln!(
+                "[loom shim] model failed at iteration {i} (LOOM_SEED={base}, derived seed {seed})"
+            );
             std::panic::resume_unwind(payload);
         }
     }

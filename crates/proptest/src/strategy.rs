@@ -185,7 +185,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 consecutive draws: {}", self.reason);
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.reason
+        );
     }
 }
 

@@ -108,7 +108,12 @@ fn persist_failure(path: &PathBuf, seed: u64, test_path: &str) {
 /// Run one proptest-defined test: replay persisted regression seeds, then
 /// `config.cases` fresh deterministic cases. On failure, persist the seed,
 /// report it, and re-raise the panic.
-pub fn run_cases(test_path: &str, source_file: &str, config: &ProptestConfig, f: &dyn Fn(&mut TestRng)) {
+pub fn run_cases(
+    test_path: &str,
+    source_file: &str,
+    config: &ProptestConfig,
+    f: &dyn Fn(&mut TestRng),
+) {
     let reg_path = regression_path(source_file);
     let mut seeds: Vec<(u64, bool)> = Vec::new();
     if let Some(p) = &reg_path {
@@ -119,7 +124,10 @@ pub fn run_cases(test_path: &str, source_file: &str, config: &ProptestConfig, f:
         Err(_) => fnv1a(test_path.as_bytes()),
     };
     for i in 0..config.cases as u64 {
-        seeds.push((base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), false));
+        seeds.push((
+            base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            false,
+        ));
     }
 
     for (seed, from_regression) in seeds {

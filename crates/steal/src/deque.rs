@@ -15,10 +15,10 @@
 //! `top` counter is monotonically increasing, so a slot is logically owned
 //! by exactly one successful `steal`/`pop`.
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
 #[cfg(loom)]
 use loom::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 #[cfg(not(loom))]
 use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;

@@ -9,9 +9,9 @@
 //! * [`CountLatch`] — counts outstanding jobs; trips at zero. The pool uses
 //!   it to detect quiescence of a `run_until_complete` scope.
 
-use parking_lot::{Condvar, Mutex};
 #[cfg(loom)]
 use loom::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+use parking_lot::{Condvar, Mutex};
 #[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 

@@ -225,7 +225,6 @@ impl SpawnHost for PoolState {
     }
 }
 
-
 /// A persistent work-stealing pool.
 pub struct Pool {
     state: Arc<PoolState>,

@@ -107,11 +107,8 @@ fn same_triple_replays_identically_and_seeds_differ() {
         let dag = Arc::new(ValueDag::generate(shape, 42));
         let keys = dag.all_keys();
         let plan = Arc::new(FaultPlan::sample(&keys, 3, Phase::AfterCompute, 7));
-        let (_, trace, report) = det_traced_run(
-            Arc::clone(&dag) as Arc<dyn TaskGraph>,
-            plan,
-            schedule_seed,
-        );
+        let (_, trace, report) =
+            det_traced_run(Arc::clone(&dag) as Arc<dyn TaskGraph>, plan, schedule_seed);
         assert!(report.sink_completed);
         trace.events().into_iter().map(|te| te.event).collect()
     };
@@ -147,9 +144,7 @@ fn broken_notify_bitvec_is_caught_by_oracle() {
     // Before-compute faults on the multi-predecessor tasks of a 3×3 grid:
     // the failed task's old and new incarnations both register with their
     // predecessors, so many schedules deliver duplicate notifications.
-    let sites = || {
-        [4, 5, 7, 8].map(|k: Key| FaultSite::once(k, Phase::BeforeCompute))
-    };
+    let sites = || [4, 5, 7, 8].map(|k: Key| FaultSite::once(k, Phase::BeforeCompute));
     const SEEDS: u64 = 96;
 
     let mut caught = 0u64;
@@ -299,11 +294,8 @@ fn after_notify_fault_observed_through_later_consumer() {
             );
         }
         let dag2 = Arc::clone(&dag);
-        let extra = check_result_equivalence(
-            &keys,
-            |k| dag2.value_of(k),
-            |k| reference.get(&k).copied(),
-        );
+        let extra =
+            check_result_equivalence(&keys, |k| dag2.value_of(k), |k| reference.get(&k).copied());
         assert_oracle_clean(
             "after-notify-consumer",
             seed,

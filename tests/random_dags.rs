@@ -61,13 +61,14 @@ fn dag_with_faults(max_fires: u64) -> impl Strategy<Value = DagWithFaults> {
         move |(widths, edges_seed)| {
             let keys = ValueDag::generate(&widths, edges_seed).all_keys();
             let n = keys.len();
-            let site = (0..n, any_phase(), 1u64..max_fires + 1).prop_map(
-                move |(i, phase, fires)| FaultSite {
-                    key: keys[i],
-                    phase,
-                    fires,
-                },
-            );
+            let site =
+                (0..n, any_phase(), 1u64..max_fires + 1).prop_map(move |(i, phase, fires)| {
+                    FaultSite {
+                        key: keys[i],
+                        phase,
+                        fires,
+                    }
+                });
             let widths2 = widths.clone();
             prop::collection::vec(site, 0..n + 1).prop_map(move |sites| DagWithFaults {
                 widths: widths2.clone(),
@@ -98,11 +99,8 @@ fn run_and_check(case: &DagWithFaults, label: &str) -> Arc<ValueDag> {
         "{label}: every task executed at least once"
     );
     let dag2 = Arc::clone(&dag);
-    let extra = check_result_equivalence(
-        &keys,
-        |k| dag2.value_of(k),
-        |k| reference.get(&k).copied(),
-    );
+    let extra =
+        check_result_equivalence(&keys, |k| dag2.value_of(k), |k| reference.get(&k).copied());
     assert_oracle_clean(
         label,
         0, // pool schedules are not seeded; the fault plan is in the dump
