@@ -8,138 +8,21 @@
 //! to compare against.
 //!
 //! Usage: `bench_pr2 [--reps N] [--threads T] [--out PATH]`
+//!
+//! `FT_BENCH_REPS` / `FT_BENCH_THREADS` override the defaults (CLI flags
+//! override both); the resolved values and the git revision are recorded
+//! in the emitted JSON.
 
 use ft_apps::AppConfig;
 use ft_bench::report::fmt_pct;
-use ft_bench::{make_app, run_baseline, run_ft, AppKind, Stats};
+use ft_bench::snapshot::{bench_app, bench_grid};
+use ft_bench::AppKind;
 use ft_steal::pool::{Pool, PoolConfig};
-use nabbit_ft::fault::Fault;
-use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
-use nabbit_ft::inject::FaultPlan;
-use nabbit_ft::scheduler::{BaselineScheduler, FtScheduler};
 use std::io::Write;
-use std::sync::Arc;
-
-/// A wavefront grid with trivial compute: throughput here is pure
-/// traversal-engine overhead (descriptor creation, notification, join
-/// counters), the path the Engine refactor must not regress.
-struct EmptyGrid {
-    n: i64,
-}
-
-impl TaskGraph for EmptyGrid {
-    fn sink(&self) -> Key {
-        self.n * self.n - 1
-    }
-    fn predecessors(&self, k: Key) -> Vec<Key> {
-        let (i, j) = (k / self.n, k % self.n);
-        let mut p = Vec::new();
-        if i > 0 {
-            p.push((i - 1) * self.n + j);
-        }
-        if j > 0 {
-            p.push(i * self.n + (j - 1));
-        }
-        p
-    }
-    fn successors(&self, k: Key) -> Vec<Key> {
-        let (i, j) = (k / self.n, k % self.n);
-        let mut s = Vec::new();
-        if i + 1 < self.n {
-            s.push((i + 1) * self.n + j);
-        }
-        if j + 1 < self.n {
-            s.push(i * self.n + (j + 1));
-        }
-        s
-    }
-    fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
-        Ok(())
-    }
-}
-
-struct BenchResult {
-    name: String,
-    tasks: u64,
-    baseline: Stats,
-    ft: Stats,
-}
-
-impl BenchResult {
-    fn overhead_pct(&self) -> f64 {
-        self.ft.overhead_pct(&self.baseline)
-    }
-    fn to_json(&self) -> String {
-        let per_s = |s: &Stats| {
-            if s.mean > 0.0 {
-                self.tasks as f64 / s.mean
-            } else {
-                0.0
-            }
-        };
-        format!(
-            "    {{\n      \"name\": \"{}\",\n      \"tasks\": {},\n      \
-             \"baseline_mean_s\": {:.6},\n      \"baseline_std_s\": {:.6},\n      \
-             \"baseline_tasks_per_s\": {:.1},\n      \
-             \"ft_mean_s\": {:.6},\n      \"ft_std_s\": {:.6},\n      \
-             \"ft_tasks_per_s\": {:.1},\n      \"ft_overhead_pct\": {:.2}\n    }}",
-            self.name,
-            self.tasks,
-            self.baseline.mean,
-            self.baseline.std,
-            per_s(&self.baseline),
-            self.ft.mean,
-            self.ft.std,
-            per_s(&self.ft),
-            self.overhead_pct(),
-        )
-    }
-}
-
-fn bench_grid(pool: &Pool, n: i64, reps: usize) -> BenchResult {
-    let tasks = (n * n) as u64;
-    let baseline = ft_bench::measure(reps, || {
-        let g: Arc<dyn TaskGraph> = Arc::new(EmptyGrid { n });
-        let r = BaselineScheduler::new(g).run(pool);
-        assert!(r.sink_completed);
-    });
-    let ft = ft_bench::measure(reps, || {
-        let g: Arc<dyn TaskGraph> = Arc::new(EmptyGrid { n });
-        let r = FtScheduler::new(g).run(pool);
-        assert!(r.sink_completed);
-    });
-    BenchResult {
-        name: format!("grid-empty-{n}x{n}"),
-        tasks,
-        baseline,
-        ft,
-    }
-}
-
-fn bench_app(pool: &Pool, kind: AppKind, cfg: AppConfig, reps: usize) -> BenchResult {
-    let mut tasks = 0;
-    let baseline = ft_bench::measure(reps, || {
-        let app = make_app(kind, cfg);
-        let r = run_baseline(pool, app);
-        assert!(r.sink_completed);
-        tasks = r.distinct_tasks_executed;
-    });
-    let ft = ft_bench::measure(reps, || {
-        let app = make_app(kind, cfg);
-        let r = run_ft(pool, app, FaultPlan::none());
-        assert!(r.sink_completed);
-    });
-    BenchResult {
-        name: kind.name().to_string(),
-        tasks,
-        baseline,
-        ft,
-    }
-}
 
 fn main() {
-    let mut reps = 5usize;
-    let mut threads = 2usize;
+    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
+    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 2);
     let mut out = String::from("BENCH_PR2.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -183,8 +66,10 @@ fn main() {
 
     let rows: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench_pr2/v1\",\n  \"threads\": {},\n  \"reps\": {},\n  \
+        "{{\n  \"schema\": \"bench_pr2/v1\",\n  \"git_rev\": \"{}\",\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \
          \"benches\": [\n{}\n  ]\n}}\n",
+        ft_bench::meta::git_rev(),
         threads,
         reps,
         rows.join(",\n")

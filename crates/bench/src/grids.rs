@@ -1,0 +1,64 @@
+//! Synthetic scheduler-bound graphs shared by the `bench_pr*` snapshot
+//! binaries.
+
+use nabbit_ft::fault::Fault;
+use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+
+/// A wavefront grid with trivial compute: throughput on it is pure
+/// traversal-engine overhead (descriptor creation, notification, join
+/// counters) — the path hot-path changes must not regress.
+pub struct EmptyGrid {
+    /// Side length; the graph has `n * n` tasks.
+    pub n: i64,
+}
+
+impl TaskGraph for EmptyGrid {
+    fn sink(&self) -> Key {
+        self.n * self.n - 1
+    }
+    fn predecessors(&self, k: Key) -> Vec<Key> {
+        let (i, j) = (k / self.n, k % self.n);
+        let mut p = Vec::new();
+        if i > 0 {
+            p.push((i - 1) * self.n + j);
+        }
+        if j > 0 {
+            p.push(i * self.n + (j - 1));
+        }
+        p
+    }
+    fn successors(&self, k: Key) -> Vec<Key> {
+        let (i, j) = (k / self.n, k % self.n);
+        let mut s = Vec::new();
+        if i + 1 < self.n {
+            s.push((i + 1) * self.n + j);
+        }
+        if j + 1 < self.n {
+            s.push(i * self.n + (j + 1));
+        }
+        s
+    }
+    fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_edges_are_consistent() {
+        let g = EmptyGrid { n: 4 };
+        assert_eq!(g.sink(), 15);
+        assert_eq!(g.predecessors(0), Vec::<Key>::new());
+        assert_eq!(g.predecessors(5), vec![1, 4]);
+        assert_eq!(g.successors(5), vec![9, 6]);
+        // Symmetry: k is a successor of each of its predecessors.
+        for k in 0..16 {
+            for p in g.predecessors(k) {
+                assert!(g.successors(p).contains(&k));
+            }
+        }
+    }
+}

@@ -10,9 +10,12 @@
 //! same *graph shapes* at sizes that complete in seconds here, and every
 //! experiment takes `--n/--b/--loss/--reps` overrides to scale up.
 
+pub mod grids;
 pub mod measure;
+pub mod meta;
 pub mod registry;
 pub mod report;
+pub mod snapshot;
 
 pub use measure::{measure, Stats};
 pub use registry::{make_app, AppKind, APP_KINDS};

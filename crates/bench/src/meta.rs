@@ -1,0 +1,62 @@
+//! Run metadata shared by the `bench_pr*` snapshot binaries: environment
+//! overrides and the git revision, recorded into every emitted JSON so a
+//! checked-in reference file says exactly how it was produced.
+
+/// Read a `usize` override from the environment, falling back to
+/// `default`. CLI flags take precedence over the environment, so callers
+/// resolve `default → env → flag` in that order.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a repo
+/// (e.g. a source tarball). Appends `-dirty` when the tree has
+/// uncommitted changes so a reference JSON can't silently come from
+/// unreviewed code.
+pub fn git_rev() -> String {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string());
+    let Some(rev) = rev else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain", "-uno"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_usize_default_and_override() {
+        std::env::remove_var("FT_BENCH_TEST_KNOB");
+        assert_eq!(env_usize("FT_BENCH_TEST_KNOB", 7), 7);
+        std::env::set_var("FT_BENCH_TEST_KNOB", "12");
+        assert_eq!(env_usize("FT_BENCH_TEST_KNOB", 7), 12);
+        std::env::remove_var("FT_BENCH_TEST_KNOB");
+    }
+
+    #[test]
+    fn git_rev_is_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+}

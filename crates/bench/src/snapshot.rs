@@ -1,0 +1,175 @@
+//! Shared plumbing for the `bench_pr*` snapshot binaries: baseline-vs-FT
+//! measurement of one workload and its JSON row format. Every snapshot
+//! binary emits the same row shape, so reference files from earlier PRs
+//! stay comparable with later ones.
+
+use crate::grids::EmptyGrid;
+use crate::measure::Stats;
+use crate::{make_app, run_baseline, run_ft, AppKind};
+use ft_apps::AppConfig;
+use ft_steal::pool::Pool;
+use nabbit_ft::graph::TaskGraph;
+use nabbit_ft::inject::FaultPlan;
+use nabbit_ft::scheduler::{BaselineScheduler, FtScheduler};
+use std::sync::Arc;
+
+/// Baseline-vs-FT timing for one workload.
+pub struct BenchResult {
+    /// Workload name (stable across PR snapshots — reference files are
+    /// matched by it).
+    pub name: String,
+    /// Number of distinct tasks the graph executes.
+    pub tasks: u64,
+    /// Baseline-scheduler timing.
+    pub baseline: Stats,
+    /// FT-scheduler timing (no faults injected).
+    pub ft: Stats,
+}
+
+impl BenchResult {
+    /// No-fault FT overhead, percent (of means — the paper's statistic).
+    pub fn overhead_pct(&self) -> f64 {
+        self.ft.overhead_pct(&self.baseline)
+    }
+
+    /// No-fault FT overhead computed from best-of-reps times. Means on a
+    /// loaded CI box absorb scheduler-interference spikes and can swing an
+    /// overhead estimate by tens of points; minima are near-deterministic,
+    /// so regression gates compare this.
+    pub fn overhead_min_pct(&self) -> f64 {
+        (self.ft.min - self.baseline.min) / self.baseline.min * 100.0
+    }
+
+    /// One JSON object row (manual formatting; the workspace carries no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        let per_s = |s: &Stats| {
+            if s.mean > 0.0 {
+                self.tasks as f64 / s.mean
+            } else {
+                0.0
+            }
+        };
+        format!(
+            "    {{\n      \"name\": \"{}\",\n      \"tasks\": {},\n      \
+             \"baseline_mean_s\": {:.6},\n      \"baseline_std_s\": {:.6},\n      \
+             \"baseline_tasks_per_s\": {:.1},\n      \
+             \"ft_mean_s\": {:.6},\n      \"ft_std_s\": {:.6},\n      \
+             \"ft_tasks_per_s\": {:.1},\n      \"ft_overhead_pct\": {:.2},\n      \
+             \"ft_overhead_min_pct\": {:.2}\n    }}",
+            self.name,
+            self.tasks,
+            self.baseline.mean,
+            self.baseline.std,
+            per_s(&self.baseline),
+            self.ft.mean,
+            self.ft.std,
+            per_s(&self.ft),
+            self.overhead_pct(),
+            self.overhead_min_pct(),
+        )
+    }
+}
+
+/// Baseline-vs-FT on the scheduler-bound [`EmptyGrid`].
+pub fn bench_grid(pool: &Pool, n: i64, reps: usize) -> BenchResult {
+    let tasks = (n * n) as u64;
+    let baseline = crate::measure(reps, || {
+        let g: Arc<dyn TaskGraph> = Arc::new(EmptyGrid { n });
+        let r = BaselineScheduler::new(g).run(pool);
+        assert!(r.sink_completed);
+    });
+    let ft = crate::measure(reps, || {
+        let g: Arc<dyn TaskGraph> = Arc::new(EmptyGrid { n });
+        let r = FtScheduler::new(g).run(pool);
+        assert!(r.sink_completed);
+    });
+    BenchResult {
+        name: format!("grid-empty-{n}x{n}"),
+        tasks,
+        baseline,
+        ft,
+    }
+}
+
+/// Baseline-vs-FT on one of the compute-bound paper apps.
+pub fn bench_app(pool: &Pool, kind: AppKind, cfg: AppConfig, reps: usize) -> BenchResult {
+    let mut tasks = 0;
+    let baseline = crate::measure(reps, || {
+        let app = make_app(kind, cfg);
+        let r = run_baseline(pool, app);
+        assert!(r.sink_completed);
+        tasks = r.distinct_tasks_executed;
+    });
+    let ft = crate::measure(reps, || {
+        let app = make_app(kind, cfg);
+        let r = run_ft(pool, app, FaultPlan::none());
+        assert!(r.sink_completed);
+    });
+    BenchResult {
+        name: kind.name().to_string(),
+        tasks,
+        baseline,
+        ft,
+    }
+}
+
+/// Extract `(name, ft_overhead_pct)` pairs from a `bench_pr*` JSON file
+/// without a JSON dependency: scans for the `"name"` / `"ft_overhead_pct"`
+/// key patterns the emitters above produce.
+pub fn parse_overheads(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"name\": \"") {
+        rest = &rest[i + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(j) = rest.find("\"ft_overhead_pct\": ") else {
+            break;
+        };
+        rest = &rest[j + "\"ft_overhead_pct\": ".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_json_row_roundtrips_through_parse_overheads() {
+        let r = BenchResult {
+            name: "grid-empty-8x8".into(),
+            tasks: 64,
+            baseline: Stats::from_samples(&[0.010, 0.012]),
+            ft: Stats::from_samples(&[0.011, 0.013]),
+        };
+        let json = format!("{{\n  \"benches\": [\n{}\n  ]\n}}\n", r.to_json());
+        let parsed = parse_overheads(&json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "grid-empty-8x8");
+        assert!((parsed[0].1 - r.overhead_pct()).abs() < 0.01);
+    }
+
+    #[test]
+    fn parse_overheads_reads_multiple_rows_and_negatives() {
+        let json = r#"{
+  "benches": [
+    { "name": "a", "ft_overhead_pct": 4.43 },
+    { "name": "b", "ft_overhead_pct": -1.20 }
+  ]
+}"#;
+        let parsed = parse_overheads(json);
+        assert_eq!(
+            parsed,
+            vec![("a".to_string(), 4.43), ("b".to_string(), -1.20)]
+        );
+    }
+}

@@ -11,13 +11,18 @@
 //!   plus an atomic compare-and-swap on the stored life (Figure 3,
 //!   `IsRecovering`).
 //!
-//! [`ShardedMap`] provides exactly those operations. It is a classic
-//! lock-striped hash map: `S` shards (power of two), each a
-//! `parking_lot::RwLock` over an open-addressing table. Reads take a shard
-//! read lock; the scheduler's hot path (`get`) is read-mostly and scales
-//! with shard count. The map stores values by value; the scheduler stores
-//! `Arc<TaskDesc>`, matching the paper's "the hash map stores the pointers
-//! to the tasks and not the tasks themselves".
+//! [`ShardedMap`] provides exactly those operations over `S` shards (power
+//! of two), each an open-addressing table with a **seqlock read path**:
+//! `get`/`contains` are lock-free optimistic reads (probe the atomically
+//! published table, validate a per-shard sequence counter, retry only on
+//! writer interference), while writers serialize on a per-shard mutex and
+//! bump the sequence around mutation. The map stores values by value; the
+//! scheduler stores `Arc<TaskDesc>`, matching the paper's "the hash map
+//! stores the pointers to the tasks and not the tasks themselves" — so a
+//! validated read is one probe plus one `Arc` clone, no lock traffic.
+//!
+//! [`LockedMap`] preserves the previous `RwLock`-striped implementation as
+//! the ablation baseline the lock-free read path is measured against.
 //!
 //! A dedicated [`ShardedMap::update_cas`] implements the recovery table's
 //! compare-and-swap on the stored value without the caller holding any lock
@@ -25,6 +30,8 @@
 
 #![warn(missing_docs)]
 
+pub mod locked;
 pub mod map;
 
+pub use locked::LockedMap;
 pub use map::{MapStats, ShardedMap};

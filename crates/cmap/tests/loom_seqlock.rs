@@ -1,0 +1,135 @@
+//! Loom model tests for the seqlock read path of [`ft_cmap::ShardedMap`]:
+//! optimistic readers racing writers through value replacement, table
+//! growth, and insert races.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p ft-cmap --test loom_seqlock
+//! ```
+//!
+//! Under `--cfg loom` the map compiles against `loom::sync::atomic`, so
+//! every sequence-counter load, table-pointer publication, and slot store
+//! is a model-exploration point. `LOOM_MAX_ITERS` / `LOOM_SEED` control
+//! the exploration budget and make failures replayable.
+#![cfg(loom)]
+
+use ft_cmap::ShardedMap;
+use std::sync::Arc;
+
+/// Readers racing `replace` churn on one key: every observed value must be
+/// one the single writer actually stored, and — because the writer stores
+/// them in increasing order — the sequence of observations must be
+/// monotone. A torn read, a stale-table read slipping past validation, or
+/// a read of a freed box would all break this.
+#[test]
+fn reader_sees_only_stored_values_monotonically_during_replace() {
+    const LAST: u64 = 6;
+    loom::model(|| {
+        let m = Arc::new(ShardedMap::<u64>::with_shards(1));
+        m.insert_if_absent(1, || 0);
+        let m2 = Arc::clone(&m);
+        let writer = loom::thread::spawn(move || {
+            for v in 1..=LAST {
+                m2.replace(1, v);
+            }
+        });
+        let mut last = 0u64;
+        loop {
+            let v = m.get(1).expect("key 1 vanished mid-churn");
+            assert!(v <= LAST, "value {v} was never stored");
+            assert!(v >= last, "went backwards: {v} after {last}");
+            last = v;
+            if v == LAST {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(m.get(1), Some(LAST));
+    });
+}
+
+/// Readers pinned on pre-inserted keys while a writer inserts enough new
+/// keys to trigger a table grow (seq-bumped table swap). The reader must
+/// see its keys throughout — before, during, and after the swap — and
+/// never a missing or wrong value.
+#[test]
+fn reader_survives_table_growth() {
+    loom::model(|| {
+        let m = Arc::new(ShardedMap::<u64>::with_shards(1));
+        // Tables start at 64 slots and grow at load factor 0.7; 40
+        // pre-inserted keys put the next writer burst across the
+        // threshold.
+        for k in 0..40i64 {
+            m.insert_if_absent(k, || k as u64 * 10);
+        }
+        let m2 = Arc::clone(&m);
+        let writer = loom::thread::spawn(move || {
+            for k in 100..120i64 {
+                m2.insert_if_absent(k, || k as u64);
+            }
+        });
+        for _ in 0..30 {
+            for k in [0i64, 7, 39] {
+                assert_eq!(
+                    m.get(k),
+                    Some(k as u64 * 10),
+                    "pre-inserted key {k} lost or corrupted during growth"
+                );
+            }
+            assert!(!m.contains(999));
+        }
+        writer.join().unwrap();
+        for k in 100..120i64 {
+            assert_eq!(m.get(k), Some(k as u64), "writer's key {k} missing");
+        }
+        assert_eq!(m.len(), 60);
+    });
+}
+
+/// Two threads race `insert_if_absent` on the same key: exactly one wins,
+/// and every subsequent read returns the winner's value.
+#[test]
+fn insert_if_absent_race_single_winner() {
+    loom::model(|| {
+        let m = Arc::new(ShardedMap::<u64>::with_shards(1));
+        let m2 = Arc::clone(&m);
+        let other = loom::thread::spawn(move || m2.insert_if_absent(5, || 111));
+        let here = m.insert_if_absent(5, || 222);
+        let there = other.join().unwrap();
+        assert!(here ^ there, "exactly one insert must win");
+        let v = m.get(5).unwrap();
+        assert_eq!(v, if here { 222 } else { 111 });
+        assert_eq!(m.len(), 1);
+    });
+}
+
+/// A reader racing `update_cas` increments (the recovery-table pattern):
+/// each observation is a value the CAS chain actually produced, and the
+/// final value equals the number of increments.
+#[test]
+fn reader_races_update_cas_chain() {
+    const INCS: u64 = 8;
+    loom::model(|| {
+        let m = Arc::new(ShardedMap::<u64>::with_shards(1));
+        let m2 = Arc::clone(&m);
+        let writer = loom::thread::spawn(move || {
+            for _ in 0..INCS {
+                m2.update_cas(3, |cur| {
+                    let n = cur.copied().unwrap_or(0) + 1;
+                    (Some(n), n)
+                });
+            }
+        });
+        let mut last = 0u64;
+        for _ in 0..40 {
+            if let Some(v) = m.get(3) {
+                assert!(v >= 1 && v <= INCS, "value {v} never produced");
+                assert!(v >= last, "went backwards: {v} after {last}");
+                last = v;
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(m.get(3), Some(INCS));
+    });
+}

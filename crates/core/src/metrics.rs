@@ -13,7 +13,7 @@
 //! threads through, summed only at snapshot time — and never contend
 //! cross-worker.
 
-use ft_cmap::ShardedMap;
+use ft_cmap::LockedMap;
 use ft_steal::metrics::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -85,15 +85,19 @@ pub struct RunMetrics {
     pub injected: AtomicU64,
     /// Evicted-version reads (each starts a producer chain re-execution).
     pub overwrite_faults: AtomicU64,
-    /// Per-task execution counts: N(A) of Section V.
-    pub exec_counts: ShardedMap<u64>,
+    /// Per-task execution counts: N(A) of Section V. A [`LockedMap`]
+    /// rather than the seqlock `ShardedMap`: this map is write-hot (one
+    /// `update_cas` per compute) and only read after quiescence, so the
+    /// lock-free read path buys nothing while its copy-on-write updates
+    /// would cost an allocation per compute.
+    pub exec_counts: LockedMap<u64>,
 }
 
 impl RunMetrics {
     /// Fresh, zeroed metrics.
     pub fn new() -> Self {
         RunMetrics {
-            exec_counts: ShardedMap::with_shards(64),
+            exec_counts: LockedMap::with_shards(64),
             ..Default::default()
         }
     }

@@ -85,6 +85,10 @@ impl TaskGraph for Grid {
     }
 }
 
+/// Serializes the tests in this binary: the counting allocator is global,
+/// so a concurrently running test would pollute a counting window.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn count_allocs(f: impl FnOnce()) -> u64 {
     let before = ALLOCS.load(Ordering::Relaxed);
     COUNTING.store(true, Ordering::SeqCst);
@@ -121,10 +125,16 @@ fn marginal_per_task(run: fn(i64) -> u64) -> f64 {
 
 #[test]
 fn traversal_allocations_are_deterministic_and_bounded() {
-    // Warm-up run so one-time lazy init (TLS, parker state, …) is paid
-    // before anything is counted.
-    run_baseline(4);
-    run_ft(4);
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Warm-up runs at *every measured size* so one-time lazy init (TLS,
+    // parker state, allocator size-class setup, …) is paid before anything
+    // is counted. A single small warm-up is not enough: the very first run
+    // at a given size occasionally pays a couple of extra process-global
+    // allocations, which tripped the determinism assertion below.
+    for n in [16, 32] {
+        run_baseline(n);
+        run_ft(n);
+    }
 
     // Determinism: identical (graph, seed) ⇒ identical allocation counts.
     assert_eq!(
@@ -134,20 +144,58 @@ fn traversal_allocations_are_deterministic_and_bounded() {
     );
     assert_eq!(run_ft(16), run_ft(16), "ft not deterministic");
 
-    // Per-task budget. Measured on the engine after the preds-by-reference
-    // fix: baseline ≈ 9.93 allocs/task, FT ≈ 10.93 (descriptor Arc, pred
-    // Vec + boxing, notify array, bit vector, per-step spawn boxes, det
-    // queue growth). The old per-traversal `a.preds.clone()` costs ≈ +1.0
-    // alloc/task, so a budget of measured + 0.5 catches that regression
-    // while tolerating allocator-library drift.
+    // Per-task budget. Measured on the seqlock task map: baseline ≈ 10.94
+    // allocs/task, FT ≈ 11.94 (descriptor Arc, pred Vec + boxing, notify
+    // array, bit vector, per-step spawn boxes, det queue growth, plus one
+    // value box per task-map insert — the price of lock-free reads, since
+    // values must live behind stable pointers). A per-traversal clone or a
+    // copy-on-write counter update costs ≈ +1.0 alloc/task, so a budget of
+    // measured + 0.5 catches those regressions while tolerating
+    // allocator-library drift.
     let base = marginal_per_task(run_baseline);
     let ft = marginal_per_task(run_ft);
     assert!(
-        base < 10.4,
+        base < 11.4,
         "baseline traversal allocates {base:.2}/task — hot-path allocation crept in"
     );
     assert!(
-        ft < 11.4,
+        ft < 12.4,
         "ft traversal allocates {ft:.2}/task — hot-path allocation crept in"
+    );
+}
+
+/// The segmented injector must not allocate per push in steady state:
+/// fully consumed blocks are reset and recycled through the one-slot block
+/// cache, so sustained push/steal traffic reuses the same segments.
+#[test]
+fn injector_steady_state_allocates_nothing() {
+    use ft_steal::injector::Injector;
+
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let q: Injector<u64> = Injector::new();
+    // Warm-up: enough laps that the block chain and recycle cache exist.
+    for round in 0..10u64 {
+        for i in 0..40 {
+            q.push(round * 40 + i);
+        }
+        for i in 0..40 {
+            assert_eq!(q.steal(), Some(round * 40 + i));
+        }
+    }
+    // Steady state: thousands of pushes/steals crossing many block
+    // boundaries — zero allocations.
+    let allocs = count_allocs(|| {
+        for round in 0..100u64 {
+            for i in 0..40 {
+                q.push(round * 40 + i);
+            }
+            for i in 0..40 {
+                assert_eq!(q.steal(), Some(round * 40 + i));
+            }
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "injector allocated {allocs} times in steady state — block recycling broke"
     );
 }

@@ -265,6 +265,26 @@ pub mod sync {
                 self.0.store(p, order);
                 super::super::maybe_yield();
             }
+
+            /// Swap with perturbation.
+            pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+                super::super::maybe_yield();
+                self.0.swap(p, order)
+            }
+
+            /// Compare-exchange with perturbation.
+            pub fn compare_exchange(
+                &self,
+                current: *mut T,
+                new: *mut T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                super::super::maybe_yield();
+                let r = self.0.compare_exchange(current, new, success, failure);
+                super::super::maybe_yield();
+                r
+            }
         }
     }
 }

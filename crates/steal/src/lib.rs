@@ -8,9 +8,13 @@
 //! * [`deque::Worker`]/[`deque::Stealer`] — a Chase–Lev work-stealing deque implemented directly
 //!   with atomics, following the orderings of Lê, Pop, Cohen & Zappa Nardelli,
 //!   *Correct and Efficient Work-Stealing for Weak Memory Models* (PPoPP'13).
+//! * [`injector::Injector`] — a segmented lock-free MPMC queue (linked
+//!   31-slot blocks, batch-steal into the caller's deque) for submissions
+//!   arriving from outside the pool.
 //! * [`pool::Pool`] — a persistent pool of worker threads, each owning a
 //!   deque; idle workers steal from random victims and park when the system
-//!   has no work.
+//!   has no work (a single pool-wide pending-work counter makes the park
+//!   decision O(1)).
 //! * [`latch::CountLatch`] / [`latch::Flag`] — completion detection for
 //!   fire-and-forget task DAGs (the sink task trips the latch).
 //! * [`metrics::WorkerMetrics`] — per-worker counters (spawns, steals,
@@ -46,6 +50,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod deque;
+pub mod injector;
 pub mod latch;
 pub mod metrics;
 pub mod parker;

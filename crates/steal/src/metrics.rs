@@ -29,6 +29,10 @@ pub struct WorkerMetrics {
     pub spawned: AtomicU64,
     /// Successful steals from another worker or the injector.
     pub steals: AtomicU64,
+    /// Subset of `steals` that came from the shared injector (batch or
+    /// single); distinguishes external-submission traffic from
+    /// worker-to-worker stealing.
+    pub injector_steals: AtomicU64,
     /// Steal attempts that found nothing.
     pub failed_steals: AtomicU64,
     /// Times this worker went to sleep.
@@ -48,6 +52,7 @@ impl WorkerMetrics {
             executed: self.executed.load(Ordering::Relaxed),
             spawned: self.spawned.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            injector_steals: self.injector_steals.load(Ordering::Relaxed),
             failed_steals: self.failed_steals.load(Ordering::Relaxed),
             sleeps: self.sleeps.load(Ordering::Relaxed),
         }
@@ -58,6 +63,7 @@ impl WorkerMetrics {
         self.executed.store(0, Ordering::Relaxed);
         self.spawned.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
+        self.injector_steals.store(0, Ordering::Relaxed);
         self.failed_steals.store(0, Ordering::Relaxed);
         self.sleeps.store(0, Ordering::Relaxed);
     }
@@ -72,6 +78,8 @@ pub struct MetricsSnapshot {
     pub spawned: u64,
     /// Successful steals.
     pub steals: u64,
+    /// Subset of `steals` served by the shared injector.
+    pub injector_steals: u64,
     /// Empty-handed steal attempts.
     pub failed_steals: u64,
     /// Park events.
@@ -85,6 +93,7 @@ impl MetricsSnapshot {
             executed: self.executed + other.executed,
             spawned: self.spawned + other.spawned,
             steals: self.steals + other.steals,
+            injector_steals: self.injector_steals + other.injector_steals,
             failed_steals: self.failed_steals + other.failed_steals,
             sleeps: self.sleeps + other.sleeps,
         }
@@ -115,6 +124,7 @@ mod tests {
             executed: 1,
             spawned: 2,
             steals: 3,
+            injector_steals: 1,
             failed_steals: 4,
             sleeps: 5,
         };
@@ -122,6 +132,7 @@ mod tests {
             executed: 10,
             spawned: 20,
             steals: 30,
+            injector_steals: 10,
             failed_steals: 40,
             sleeps: 50,
         };
@@ -129,6 +140,7 @@ mod tests {
         assert_eq!(m.executed, 11);
         assert_eq!(m.spawned, 22);
         assert_eq!(m.steals, 33);
+        assert_eq!(m.injector_steals, 11);
         assert_eq!(m.failed_steals, 44);
         assert_eq!(m.sleeps, 55);
     }

@@ -92,6 +92,21 @@ impl Parker {
         }
     }
 
+    /// Wake at most one sleeping worker; called after making a single unit
+    /// of work visible. The epoch still bumps, so a racing
+    /// `prepare_sleep`/`sleep` pair cannot miss the notification — but only
+    /// one blocked worker is signalled, avoiding the thundering herd of
+    /// [`Parker::notify`] when one job arrives. The woken worker is
+    /// responsible for escalating (waking another sleeper) while more work
+    /// remains visible.
+    pub fn notify_one(&self) {
+        let prev = self.state.fetch_add(EPOCH_UNIT, Ordering::SeqCst);
+        if prev & SLEEPERS_MASK != 0 {
+            let _guard = self.lock.lock();
+            self.condvar.notify_one();
+        }
+    }
+
     /// Number of workers currently registered as (about to be) sleeping.
     pub fn sleepers(&self) -> usize {
         (self.state.load(Ordering::SeqCst) & SLEEPERS_MASK) as usize

@@ -17,6 +17,7 @@
 //! panicking job would leak the quiescence count and deadlock the run.
 
 use crate::deque::{self, Steal, Stealer, Worker};
+use crate::injector::Injector;
 use crate::latch::CountLatch;
 use crate::metrics::{CachePadded, MetricsSnapshot, WorkerMetrics};
 use crate::parker::Parker;
@@ -24,7 +25,6 @@ use crate::rng::XorShift64Star;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -99,9 +99,12 @@ impl Default for PoolConfig {
 /// Shared state between the pool handle and its workers.
 struct PoolState {
     stealers: Vec<Stealer<Job>>,
-    injector: Mutex<VecDeque<Job>>,
-    /// Approximate injector length, readable without taking the lock.
-    injector_len: AtomicU64,
+    injector: Injector<Job>,
+    /// Pool-wide count of jobs sitting in any queue (local deques + the
+    /// injector): incremented after a job is enqueued, decremented when a
+    /// worker acquires one. Idle workers consult this single counter to
+    /// decide whether to park — O(1) instead of sweeping every stealer.
+    queued: CachePadded<AtomicU64>,
     parker: Parker,
     pending: CountLatch,
     metrics: Vec<CachePadded<WorkerMetrics>>,
@@ -178,6 +181,12 @@ fn current_worker_index(state: &PoolState) -> Option<usize> {
 impl PoolState {
     fn spawn_job(&self, job: Job) {
         self.pending.increment();
+        // Count the job *before* it becomes stealable: a worker that grabs
+        // it the instant it lands must not decrement `queued` below zero.
+        // SeqCst: the increment must be globally ordered against a parking
+        // worker's `prepare_sleep`/re-check pair — either the sleeper sees
+        // the count, or the notify below sees the sleeper (epoch protocol).
+        self.queued.fetch_add(1, Ordering::SeqCst);
         let mut job = Some(job);
         LOCAL.with(|l| {
             let p = l.get();
@@ -193,21 +202,23 @@ impl PoolState {
         });
         if let Some(job) = job {
             // Submitting thread is not a worker of this pool: go through
-            // the shared injector.
-            let mut q = self.injector.lock();
-            q.push_back(job);
-            self.injector_len.fetch_add(1, Ordering::Release);
-            drop(q);
+            // the shared lock-free injector.
+            self.injector.push(job);
         }
-        self.parker.notify();
+        // One job became visible: wake one worker, not the whole pool. The
+        // woken worker escalates (see `worker_main`) while work remains.
+        self.parker.notify_one();
     }
 
-    /// True if any queue in the system visibly holds work.
+    /// True if any queue in the system visibly holds work. O(1): a single
+    /// counter load instead of an O(workers) stealer sweep.
     fn has_visible_work(&self) -> bool {
-        if self.injector_len.load(Ordering::Acquire) > 0 {
-            return true;
-        }
-        self.stealers.iter().any(|s| !s.is_empty())
+        self.queued.load(Ordering::SeqCst) > 0
+    }
+
+    /// Account for a job leaving the queues. Returns how many remain.
+    fn job_acquired(&self) -> u64 {
+        self.queued.fetch_sub(1, Ordering::Relaxed) - 1
     }
 }
 
@@ -248,8 +259,8 @@ impl Pool {
             .collect();
         let state = Arc::new(PoolState {
             stealers,
-            injector: Mutex::new(VecDeque::new()),
-            injector_len: AtomicU64::new(0),
+            injector: Injector::new(),
+            queued: CachePadded(AtomicU64::new(0)),
             parker: Parker::new(),
             pending: CountLatch::new(),
             metrics,
@@ -369,6 +380,13 @@ fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u6
 
     loop {
         if let Some(job) = find_job(&state, &ctx, index, &mut rng) {
+            // Wake escalation: this worker got a job; if more are queued
+            // and someone is parked, pass the wakeup along. Combined with
+            // `notify_one` in `spawn_job`, a burst of B jobs wakes at most
+            // B workers, one at a time, instead of the whole pool per job.
+            if state.job_acquired() > 0 && state.parker.sleepers() > 0 {
+                state.parker.notify_one();
+            }
             WorkerMetrics::bump(&metrics.executed);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 job(&scope);
@@ -400,8 +418,8 @@ fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u6
     LOCAL.with(|l| l.set(std::ptr::null()));
 }
 
-/// One attempt to obtain a job: local deque, then injector, then
-/// `steal_rounds` sweeps over random victims.
+/// One attempt to obtain a job: local deque, then a batch-steal from the
+/// injector, then `steal_rounds` sweeps over random victims.
 fn find_job(
     state: &PoolState,
     ctx: &LocalCtx,
@@ -411,8 +429,7 @@ fn find_job(
     if let Some(job) = ctx.deque.pop() {
         return Some(job);
     }
-    if let Some(job) = pop_injector(state) {
-        WorkerMetrics::bump(&state.metrics[index].steals);
+    if let Some(job) = pop_injector(state, ctx, index) {
         return Some(job);
     }
     let n = state.threads;
@@ -435,8 +452,7 @@ fn find_job(
                 }
             }
         }
-        if let Some(job) = pop_injector(state) {
-            WorkerMetrics::bump(&state.metrics[index].steals);
+        if let Some(job) = pop_injector(state, ctx, index) {
             return Some(job);
         }
         if state.shutdown.load(Ordering::Acquire) {
@@ -448,16 +464,14 @@ fn find_job(
     None
 }
 
-fn pop_injector(state: &PoolState) -> Option<Job> {
-    if state.injector_len.load(Ordering::Acquire) == 0 {
-        return None;
-    }
-    let mut q = state.injector.lock();
-    let job = q.pop_front();
-    if job.is_some() {
-        state.injector_len.fetch_sub(1, Ordering::Release);
-    }
-    job
+/// Batch-steal from the lock-free injector into this worker's own deque,
+/// returning the oldest stolen job. Surplus jobs stay stealable by other
+/// workers (and remain counted in `queued`).
+fn pop_injector(state: &PoolState, ctx: &LocalCtx, index: usize) -> Option<Job> {
+    let job = state.injector.steal_batch_and_pop(&ctx.deque)?;
+    WorkerMetrics::bump(&state.metrics[index].steals);
+    WorkerMetrics::bump(&state.metrics[index].injector_steals);
+    Some(job)
 }
 
 #[cfg(test)]
