@@ -29,6 +29,8 @@
 //! across the comparison.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod locked;
 pub mod map;

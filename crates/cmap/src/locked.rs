@@ -113,6 +113,14 @@ pub struct LockedMap<V> {
     shift: u32,
 }
 
+impl<V> std::fmt::Debug for LockedMap<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockedMap")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
 impl<V: Clone> Default for LockedMap<V> {
     fn default() -> Self {
         Self::new()

@@ -32,11 +32,8 @@
 //! also serves as the in-shard probe start; shard selection uses the high
 //! bits and probing the low bits so the two are decorrelated.
 
-#[cfg(loom)]
-use loom::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
+use ft_sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
 use parking_lot::Mutex;
-#[cfg(not(loom))]
-use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicU64, Ordering};
 
 /// Multiplicative (Fibonacci) hash constant, 2^64 / φ.
 const HASH_K: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -104,11 +101,16 @@ struct Shard<V> {
     writer: Mutex<WriterState<V>>,
 }
 
-// Safety: values are shared by reference with concurrent readers (`V: Sync`)
-// and owned boxes are dropped from whichever thread drops the map
-// (`V: Send`). The raw pointers in `WriterState`/`table` are owned by the
-// shard and follow the retire-until-drop protocol documented above.
+// SAFETY: owned value boxes and retired garbage are dropped from whichever
+// thread drops the map (`V: Send`); the raw pointers in `WriterState`/`table`
+// are owned by the shard and follow the retire-until-drop protocol
+// documented above, so moving the shard between threads transfers sole
+// ownership of every allocation it frees.
 unsafe impl<V: Send + Sync> Send for Shard<V> {}
+// SAFETY: values are shared by reference with concurrent readers
+// (`V: Sync`), all shared shard state is atomics or the writer mutex, and
+// retired allocations stay live until drop — so `&Shard` used from many
+// threads never yields a dangling or aliased-mutable access.
 unsafe impl<V: Send + Sync> Sync for Shard<V> {}
 
 /// Outcome of one optimistic probe attempt.
@@ -135,28 +137,38 @@ impl<V: Clone> Shard<V> {
     /// Begin a write window: readers that overlap it will fail validation.
     /// Caller must hold the writer lock.
     fn write_begin(&self) {
+        // ord: Relaxed load/store — only writers mutate `seq` and the
+        // caller holds the writer lock; ordering comes from the fence below.
         let s = self.seq.load(Ordering::Relaxed);
         self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
-        // The odd sequence must be visible before any mutation store.
+        // ord: Release fence — the odd sequence must be visible before any
+        // mutation store; pairs with the readers' Acquire fence/loads in
+        // `try_read`.
         fence(Ordering::Release);
     }
 
     /// End a write window. Caller must hold the writer lock.
     fn write_end(&self) {
+        // ord: Relaxed — lock-serialized writer-only read; see write_begin.
         let s = self.seq.load(Ordering::Relaxed);
-        // Release: all mutation stores are visible before the even sequence.
+        // ord: Release — all mutation stores are visible before the even
+        // sequence; pairs with the readers' s1 Acquire load in `try_read`.
         self.seq.store(s.wrapping_add(1), Ordering::Release);
     }
 
     /// One optimistic, lock-free probe: read the published table, probe,
     /// then validate that no writer interfered.
     fn try_read(&self, key: i64) -> Probe<V> {
+        // ord: Acquire — pairs with the Release in `write_end`: an even s1
+        // guarantees the probe sees a table state no older than that write.
         let s1 = self.seq.load(Ordering::Acquire);
         if s1 & 1 == 1 {
             return Probe::Interference;
         }
+        // ord: Acquire — pairs with the Release table publication in
+        // `grow_if_needed`, so the pointed-to table is fully initialized.
         let table = self.table.load(Ordering::Acquire);
-        // Safety: published tables are retired on growth, never freed while
+        // SAFETY: published tables are retired on growth, never freed while
         // the map lives, so the pointer is always dereferenceable — a stale
         // table merely fails validation below.
         let t = unsafe { &*table };
@@ -167,18 +179,24 @@ impl<V: Clone> Shard<V> {
         // full sweep without an empty slot can only mean interference.
         for _ in 0..=mask {
             let slot = &t.slots[i];
+            // ord: Acquire — pairs with the Release in `publish_insert`/
+            // `swap_value`: a non-null pointer implies the pointee and the
+            // slot's key store are visible.
             let p = slot.val.load(Ordering::Acquire);
             if p.is_null() {
                 break; // empty slot terminates the probe chain
             }
-            // The Acquire load of `val` orders the key store before us.
+            // ord: Relaxed — the Acquire load of `val` above already orders
+            // the key store (keys are written before the value pointer).
             if slot.key.load(Ordering::Relaxed) == key {
                 found = Some(p as *const V);
                 break;
             }
             i = (i + 1) & mask;
         }
-        // The probe loads must complete before the validating load.
+        // ord: Acquire fence + Relaxed load — the probe loads must complete
+        // before the validating sequence load; the fence upgrades the
+        // Relaxed load so it cannot be reordered before the probe.
         fence(Ordering::Acquire);
         let s2 = self.seq.load(Ordering::Relaxed);
         if s1 == s2 {
@@ -193,15 +211,22 @@ impl<V: Clone> Shard<V> {
     fn read(&self, key: i64) -> Option<V> {
         for _ in 0..OPTIMISTIC_TRIES {
             match self.try_read(key) {
-                // Safety: a validated pointer is live (boxes are retired,
+                // SAFETY: a validated pointer is live (boxes are retired,
                 // not freed) and its pointee is never mutated in place.
                 Probe::Valid(found) => return found.map(|p| unsafe { (*p).clone() }),
                 Probe::Interference => std::hint::spin_loop(),
             }
         }
         let _guard = self.writer.lock();
+        // SAFETY: the writer lock is held, so the table pointer is stable
+        // and dereferenceable (tables are only swapped under this lock).
+        // ord: Relaxed — the lock acquisition orders the table load against
+        // the previous holder's swap.
         let t = unsafe { &*self.table.load(Ordering::Relaxed) };
         self.probe_locked(t, key)
+            // SAFETY: `probe_locked` returned an occupied slot and the lock
+            // blocks any writer from displacing its value box.
+            // ord: Relaxed — lock-serialized; see above.
             .map(|i| unsafe { (*t.slots[i].val.load(Ordering::Relaxed)).clone() })
     }
 
@@ -210,9 +235,12 @@ impl<V: Clone> Shard<V> {
         let mut i = (hash_key(key) as usize) & t.mask;
         loop {
             let slot = &t.slots[i];
+            // ord: Relaxed — caller holds the writer lock, which serializes
+            // every mutation of the slots.
             if slot.val.load(Ordering::Relaxed).is_null() {
                 return None;
             }
+            // ord: Relaxed — lock-serialized, as above.
             if slot.key.load(Ordering::Relaxed) == key {
                 return Some(i);
             }
@@ -224,6 +252,7 @@ impl<V: Clone> Shard<V> {
     /// and have verified the key is absent.
     fn find_empty(&self, t: &Table<V>, key: i64) -> usize {
         let mut i = (hash_key(key) as usize) & t.mask;
+        // ord: Relaxed — caller holds the writer lock; see `probe_locked`.
         while !t.slots[i].val.load(Ordering::Relaxed).is_null() {
             i = (i + 1) & t.mask;
         }
@@ -235,9 +264,10 @@ impl<V: Clone> Shard<V> {
     /// the full slot (hit) — both are consistent states.
     fn publish_insert(&self, t: &Table<V>, key: i64, boxed: *mut V) {
         let i = self.find_empty(t, key);
+        // ord: Relaxed — ordered by the Release store of `val` below.
         t.slots[i].key.store(key, Ordering::Relaxed);
-        // Release: the key store above is visible to any reader that
-        // acquires this value pointer.
+        // ord: Release — the key store above and the boxed value are
+        // visible to any reader that Acquire-loads this value pointer.
         t.slots[i].val.store(boxed, Ordering::Release);
     }
 
@@ -246,7 +276,11 @@ impl<V: Clone> Shard<V> {
     ///
     /// Returns the current table.
     fn grow_if_needed(&self, w: &mut WriterState<V>) -> *mut Table<V> {
+        // ord: Relaxed — caller holds the writer lock, which serializes
+        // every table swap.
         let old_ptr = self.table.load(Ordering::Relaxed);
+        // SAFETY: the current table is live until retired, and retiring
+        // happens only below in this lock-serialized function.
         let old = unsafe { &*old_ptr };
         let cap = old.mask + 1;
         if w.len * 10 < cap * 7 {
@@ -254,21 +288,29 @@ impl<V: Clone> Shard<V> {
         }
         let new = Table::<V>::new_boxed(cap * 2);
         for slot in old.slots.iter() {
+            // ord: Relaxed — old-table reads are lock-serialized and the
+            // new table is private until published: no reader can see
+            // these loads or the stores below out of order.
             let p = slot.val.load(Ordering::Relaxed);
             if p.is_null() {
                 continue;
             }
+            // ord: Relaxed — lock-serialized old-table read, as above.
             let k = slot.key.load(Ordering::Relaxed);
-            // The new table is private until published: plain stores.
             let mut i = (hash_key(k) as usize) & new.mask;
+            // ord: Relaxed — the new table is private until published.
             while !new.slots[i].val.load(Ordering::Relaxed).is_null() {
                 i = (i + 1) & new.mask;
             }
+            // ord: Relaxed — private table; the Release publication of
+            // `table` below makes these stores visible to readers.
             new.slots[i].key.store(k, Ordering::Relaxed);
             new.slots[i].val.store(p, Ordering::Relaxed);
         }
         let new_ptr = Box::into_raw(new);
         self.write_begin();
+        // ord: Release — publishes the fully populated table to readers'
+        // Acquire load in `try_read`.
         self.table.store(new_ptr, Ordering::Release);
         self.write_end();
         w.retired_tables.push(old_ptr);
@@ -278,8 +320,11 @@ impl<V: Clone> Shard<V> {
     /// Swap the value pointer of an occupied slot under a write window,
     /// retiring the displaced box. Caller must hold the lock.
     fn swap_value(&self, t: &Table<V>, i: usize, boxed: *mut V, w: &mut WriterState<V>) -> *mut V {
+        // ord: Relaxed — caller holds the writer lock; see `probe_locked`.
         let old = t.slots[i].val.load(Ordering::Relaxed);
         self.write_begin();
+        // ord: Release — the new box's contents are visible to any reader
+        // that Acquire-loads this pointer in `try_read`.
         t.slots[i].val.store(boxed, Ordering::Release);
         self.write_end();
         w.retired_vals.push(old);
@@ -290,10 +335,18 @@ impl<V: Clone> Shard<V> {
 impl<V> Drop for Shard<V> {
     fn drop(&mut self) {
         let w = self.writer.get_mut();
+        // ord: Relaxed — `&mut self` proves exclusivity; every reader and
+        // writer synchronized-with this thread before the drop.
         let t = self.table.load(Ordering::Relaxed);
+        // SAFETY: exclusive access (`&mut self`). The current table owns the
+        // live value boxes; `retired_vals` owns displaced boxes; retired
+        // tables alias boxes already freed via one of the former two, so
+        // only their table structure is freed — every allocation exactly
+        // once.
         unsafe {
             // Live values are owned by the current table.
             for slot in (*t).slots.iter() {
+                // ord: Relaxed — exclusive access, as above.
                 let p = slot.val.load(Ordering::Relaxed);
                 if !p.is_null() {
                     drop(Box::from_raw(p));
@@ -317,6 +370,14 @@ impl<V> Drop for Shard<V> {
 pub struct ShardedMap<V> {
     shards: Vec<Shard<V>>,
     shift: u32,
+}
+
+impl<V> std::fmt::Debug for ShardedMap<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMap")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
 }
 
 /// Occupancy statistics, for the shard-count ablation bench.
@@ -373,10 +434,14 @@ impl<V: Clone> ShardedMap<V> {
     pub fn insert_if_absent(&self, key: i64, make: impl FnOnce() -> V) -> bool {
         let shard = self.shard_for(key);
         let mut w = shard.writer.lock();
+        // SAFETY: writer lock held — the table pointer is stable and live.
+        // ord: Relaxed — the lock orders the load against the last swap.
         let t = unsafe { &*shard.table.load(Ordering::Relaxed) };
         if shard.probe_locked(t, key).is_some() {
             return false;
         }
+        // SAFETY: `grow_if_needed` returns the (possibly new) current
+        // table, live for at least as long as the lock is held.
         let t = unsafe { &*shard.grow_if_needed(&mut w) };
         let boxed = Box::into_raw(Box::new(make()));
         shard.publish_insert(t, key, boxed);
@@ -402,6 +467,8 @@ impl<V: Clone> ShardedMap<V> {
             }
         }
         let _guard = shard.writer.lock();
+        // SAFETY: writer lock held — the table pointer is stable and live.
+        // ord: Relaxed — the lock orders the load against the last swap.
         let t = unsafe { &*shard.table.load(Ordering::Relaxed) };
         shard.probe_locked(t, key).is_some()
     }
@@ -411,14 +478,18 @@ impl<V: Clone> ShardedMap<V> {
     pub fn replace(&self, key: i64, value: V) -> Option<V> {
         let shard = self.shard_for(key);
         let mut w = shard.writer.lock();
+        // SAFETY: writer lock held — the table pointer is stable and live.
+        // ord: Relaxed — the lock orders the load against the last swap.
         let t = unsafe { &*shard.table.load(Ordering::Relaxed) };
         if let Some(i) = shard.probe_locked(t, key) {
             let boxed = Box::into_raw(Box::new(value));
             let old = shard.swap_value(t, i, boxed, &mut w);
-            // The displaced box stays alive (a reader may be cloning it),
-            // so the previous value is returned by clone.
+            // SAFETY: the displaced box was retired, not freed (a reader
+            // may be cloning it), so it stays dereferenceable here.
             return Some(unsafe { (*old).clone() });
         }
+        // SAFETY: `grow_if_needed` returns the current table, live while
+        // the lock is held.
         let t = unsafe { &*shard.grow_if_needed(&mut w) };
         shard.publish_insert(t, key, Box::into_raw(Box::new(value)));
         w.len += 1;
@@ -434,10 +505,15 @@ impl<V: Clone> ShardedMap<V> {
     pub fn update_cas<R>(&self, key: i64, f: impl FnOnce(Option<&V>) -> (Option<V>, R)) -> R {
         let shard = self.shard_for(key);
         let mut w = shard.writer.lock();
+        // SAFETY: writer lock held — the table pointer is stable and live.
+        // ord: Relaxed — the lock orders the load against the last swap.
         let t = unsafe { &*shard.table.load(Ordering::Relaxed) };
         let slot = shard.probe_locked(t, key);
         let (new, ret) = match slot {
             Some(i) => {
+                // SAFETY: occupied slot and the lock blocks displacement of
+                // its value box while `cur` is borrowed.
+                // ord: Relaxed — lock-serialized, as above.
                 let cur = unsafe { &*t.slots[i].val.load(Ordering::Relaxed) };
                 f(Some(cur))
             }
@@ -450,6 +526,8 @@ impl<V: Clone> ShardedMap<V> {
                     shard.swap_value(t, i, boxed, &mut w);
                 }
                 None => {
+                    // SAFETY: `grow_if_needed` returns the current table,
+                    // live while the lock is held.
                     let t = unsafe { &*shard.grow_if_needed(&mut w) };
                     shard.publish_insert(t, key, boxed);
                     w.len += 1;
@@ -484,11 +562,17 @@ impl<V: Clone> ShardedMap<V> {
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut w = shard.writer.lock();
+            // SAFETY: writer lock held — table pointer stable and live.
+            // ord: Relaxed — lock-ordered, as in `insert_if_absent`.
             let t = unsafe { &*shard.table.load(Ordering::Relaxed) };
             shard.write_begin();
             for slot in t.slots.iter() {
+                // ord: Relaxed — inside a write window: readers that
+                // overlap these stores fail sequence validation, so only
+                // the window's Release edges need ordering.
                 let p = slot.val.load(Ordering::Relaxed);
                 if !p.is_null() {
+                    // ord: Relaxed — inside the write window, as above.
                     slot.val.store(std::ptr::null_mut(), Ordering::Relaxed);
                     w.retired_vals.push(p);
                 }
@@ -504,11 +588,17 @@ impl<V: Clone> ShardedMap<V> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let _guard = shard.writer.lock();
+            // SAFETY: writer lock held — table pointer stable and live.
+            // ord: Relaxed — lock-ordered, as in `insert_if_absent`.
             let t = unsafe { &*shard.table.load(Ordering::Relaxed) };
             for slot in t.slots.iter() {
+                // ord: Relaxed — slot reads are lock-serialized here.
                 let p = slot.val.load(Ordering::Relaxed);
                 if !p.is_null() {
+                    // ord: Relaxed — lock-serialized slot read, as above.
                     let k = slot.key.load(Ordering::Relaxed);
+                    // SAFETY: occupied slot; the lock blocks displacement
+                    // of the box while we clone through it.
                     out.push((k, unsafe { (*p).clone() }));
                 }
             }
@@ -520,7 +610,7 @@ impl<V: Clone> ShardedMap<V> {
 #[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use ft_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::thread;
 
@@ -694,7 +784,7 @@ mod tests {
         // values (the seqlock fallback path is exercised here too).
         let m: Arc<ShardedMap<u64>> = Arc::new(ShardedMap::with_shards(1));
         m.insert_if_absent(-1, || 7);
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(ft_sync::atomic::AtomicBool::new(false));
         thread::scope(|s| {
             for _ in 0..3 {
                 let m = Arc::clone(&m);

@@ -12,7 +12,7 @@
 //! decrement exactly-once too (a reset node re-traverses and re-self-
 //! notifies).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ft_sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-width vector of atomically clearable bits.
 pub struct AtomicBitVec {
@@ -95,7 +95,7 @@ impl AtomicBitVec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use ft_sync::atomic::AtomicUsize;
     use std::sync::Arc;
     use std::thread;
 

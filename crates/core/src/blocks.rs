@@ -24,9 +24,9 @@
 
 use crate::fault::Fault;
 use crate::graph::Key;
+use ft_sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Dense identifier of a data block (application-chosen indexing).

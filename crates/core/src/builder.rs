@@ -242,7 +242,7 @@ mod tests {
     use crate::inject::{FaultPlan, Phase};
     use crate::scheduler::FtScheduler;
     use ft_steal::pool::{Pool, PoolConfig};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use ft_sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     fn diamond() -> GraphBuilder {

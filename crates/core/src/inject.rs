@@ -13,11 +13,11 @@
 //! the task's output block versions.
 
 use crate::graph::Key;
+use ft_sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The point in a task's lifetime at which a planned fault fires
 /// (Section VI, "Time": before compute, after compute, after notify).
@@ -258,7 +258,7 @@ mod tests {
 
     #[test]
     fn concurrent_fire_consumes_budget_exactly() {
-        use std::sync::atomic::AtomicUsize;
+        use ft_sync::atomic::AtomicUsize;
         let p = std::sync::Arc::new(FaultPlan::new([FaultSite {
             key: 7,
             phase: Phase::AfterCompute,

@@ -15,7 +15,7 @@
 
 use ft_cmap::LockedMap;
 use ft_steal::metrics::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use ft_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of lanes in a [`ShardedCounter`]. Workers beyond this fold onto

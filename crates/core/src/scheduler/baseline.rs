@@ -125,9 +125,9 @@ mod tests {
     use crate::graph::ComputeCtx;
     use crate::metrics::RunReport;
     use ft_steal::pool::{Pool, PoolConfig};
+    use ft_sync::atomic::{AtomicU64, Ordering};
     use parking_lot::Mutex;
     use std::collections::HashSet;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// A 2-D wavefront grid graph: (i,j) depends on (i-1,j) and (i,j-1);
     /// sink is (n-1, n-1); key = i*n + j.

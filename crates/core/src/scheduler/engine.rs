@@ -41,8 +41,8 @@ use crate::task::Status;
 use crate::trace::Event;
 use ft_cmap::ShardedMap;
 use ft_steal::pool::{Executor, Scope};
+use ft_sync::atomic::{AtomicI64, Ordering};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -179,6 +179,9 @@ impl<P: FtPolicy> Engine<P> {
         let start = Instant::now();
         let sink = self.graph.sink();
         self.insert_if_absent(sink, None);
+        // ft-lint: allow(L5) the sink was inserted on the line above and
+        // nothing can remove it before the run starts; a miss here is a
+        // programming error worth aborting on, not a runtime condition.
         let (sd, life) = self.get_task(sink).expect("sink just inserted");
         let this = Arc::clone(self);
         exec.execute_job(Box::new(move |scope: &Scope<'_>| {

@@ -25,7 +25,7 @@ use crate::task::{FtDesc, Status};
 use crate::trace::{Event, Trace};
 use ft_cmap::ShardedMap;
 use ft_steal::pool::Scope;
-use std::sync::atomic::{AtomicBool, Ordering};
+use ft_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// The selective localized-recovery policy: guarded accesses, bit-vector
@@ -514,7 +514,7 @@ mod tests {
         let report = sched.run(&pool);
         assert!(report.sink_completed);
         let (sd, _) = sched.get_task(g.sink()).unwrap();
-        sd.status.store(0xEE, std::sync::atomic::Ordering::Release);
+        sd.status.store(0xEE, ft_sync::atomic::Ordering::Release);
         assert!(sd.try_status().is_err(), "smashed byte is a detected fault");
         // Re-reading completion must *not* decode the corrupt byte as
         // Completed (the old `from_u8` mapped any garbage to Completed).

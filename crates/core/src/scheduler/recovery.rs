@@ -22,7 +22,7 @@ use crate::graph::Key;
 use crate::task::{FtDesc, Status};
 use crate::trace::Event;
 use ft_steal::pool::Scope;
-use std::sync::atomic::Ordering;
+use ft_sync::atomic::Ordering;
 use std::sync::Arc;
 
 impl Engine<FtRecovery> {
@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn concurrent_is_recovering_single_claimant() {
-        use std::sync::atomic::AtomicUsize;
+        use ft_sync::atomic::AtomicUsize;
         let sch = scheduler();
         for life in 1..=10u64 {
             let claims = AtomicUsize::new(0);

@@ -15,8 +15,8 @@ use crate::bitvec::AtomicBitVec;
 use crate::fault::Fault;
 use crate::graph::Key;
 use crate::scheduler::engine::Descriptor;
+use ft_sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
 
 /// Execution status of a task ("Visited, Computed, and Completed").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

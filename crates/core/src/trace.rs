@@ -16,8 +16,8 @@
 use crate::fault::FaultKind;
 use crate::graph::Key;
 use crate::inject::Phase;
+use ft_sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 pub mod oracle;
@@ -163,8 +163,8 @@ impl Trace {
     /// Round-robin shard assignment for threads outside the worker pool,
     /// cached in a thread-local (no per-event formatting or hashing).
     fn thread_shard() -> usize {
+        use ft_sync::atomic::AtomicUsize;
         use std::cell::Cell;
-        use std::sync::atomic::AtomicUsize;
         static NEXT: AtomicUsize = AtomicUsize::new(0);
         thread_local! {
             static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };

@@ -160,8 +160,8 @@ impl Executor for DetPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ft_sync::atomic::{AtomicU64, Ordering};
     use parking_lot::Mutex;
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// Record the order in which numbered jobs run under `seed`.

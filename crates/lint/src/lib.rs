@@ -1,0 +1,629 @@
+//! `ft-lint` — the in-repo concurrency auditor.
+//!
+//! PR 4 made the scheduler's hot paths lock-free, so correctness rests on
+//! hand-written `unsafe` and carefully chosen atomic orderings. This crate
+//! mechanically enforces the discipline those paths depend on, with no
+//! external dependencies (the workspace builds offline): a small
+//! line-oriented Rust lexer ([`lexer`]) plus a rule engine.
+//!
+//! The rules — cataloged with rationale and examples in `docs/LINTS.md`:
+//!
+//! * **L1** — every `unsafe` block/fn/impl in runtime crates must be
+//!   immediately preceded by a `// SAFETY:` comment (or carry a
+//!   `# Safety` doc section).
+//! * **L2** — every non-`SeqCst` `Ordering::*` in `crates/steal` and
+//!   `crates/cmap` must be covered by an `// ord:` justification tag (see
+//!   the orderings section of `docs/ALGORITHM.md`).
+//! * **L3** — runtime crates import atomics through the cfg(loom)-switched
+//!   `ft-sync` facade, never `std::sync::atomic` directly, so loom models
+//!   exercise the shipped code paths.
+//! * **L4** — any runtime file containing atomics must be claimed by an
+//!   entry in `docs/LOOM_COVERAGE.toml`.
+//! * **L5** — no `unwrap()`/`expect()` in `crates/core/src/scheduler/`.
+//!
+//! Waiver syntax: `// ft-lint: allow(L5) <reason>` on the flagged line or
+//! in the comment block immediately above it. The reason is mandatory and
+//! waivers are reported (JSON and human output) so they stay auditable.
+//! Test modules, integration tests, and benches are exempt from all rules.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+
+use lexer::{has_word, lex, test_region_start, Line};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rule violation at a file:line span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (`L1`..`L5`).
+    pub rule: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A suppressed finding: same span as a violation plus the stated reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule identifier that was waived.
+    pub rule: &'static str,
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number of the waived site.
+    pub line: usize,
+    /// The justification text after `ft-lint: allow(RULE)`.
+    pub reason: String,
+}
+
+/// Outcome of linting a tree.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Violations, in file order.
+    pub violations: Vec<Violation>,
+    /// Waived findings, in file order.
+    pub waivers: Vec<Waiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// What to lint and where. [`Config::workspace`] is the shipped policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root; all other paths are relative to it.
+    pub root: PathBuf,
+    /// Directories whose files are runtime code (rules L1, L3, L4).
+    pub runtime_dirs: Vec<PathBuf>,
+    /// Directories where non-SeqCst orderings need `// ord:` tags (L2).
+    pub ordering_dirs: Vec<PathBuf>,
+    /// Directories where `unwrap()`/`expect()` are forbidden (L5).
+    pub hot_path_dirs: Vec<PathBuf>,
+    /// Loom-coverage manifest consulted by L4, relative to `root`.
+    pub manifest: PathBuf,
+}
+
+impl Config {
+    /// The policy for this workspace: runtime crates `steal`, `cmap`,
+    /// `core`, `det`; ordering discipline in the two lock-free crates; the
+    /// scheduler hot path; `docs/LOOM_COVERAGE.toml` as the L4 manifest.
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        Config {
+            root: root.into(),
+            runtime_dirs: [
+                "crates/steal/src",
+                "crates/cmap/src",
+                "crates/core/src",
+                "crates/det/src",
+            ]
+            .iter()
+            .map(PathBuf::from)
+            .collect(),
+            ordering_dirs: ["crates/steal/src", "crates/cmap/src"]
+                .iter()
+                .map(PathBuf::from)
+                .collect(),
+            hot_path_dirs: vec![PathBuf::from("crates/core/src/scheduler")],
+            manifest: PathBuf::from("docs/LOOM_COVERAGE.toml"),
+        }
+    }
+}
+
+/// Lint everything named by `config`.
+pub fn run(config: &Config) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let manifest_paths = read_manifest_paths(&config.root.join(&config.manifest));
+    let mut files = Vec::new();
+    for dir in &config.runtime_dirs {
+        collect_rs_files(&config.root.join(dir), &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    for path in files {
+        let rel = relative_to(&path, &config.root);
+        let src = std::fs::read_to_string(&path)?;
+        let in_ordering = dir_match(&rel, &config.ordering_dirs);
+        let in_hot_path = dir_match(&rel, &config.hot_path_dirs);
+        lint_file(
+            &rel,
+            &src,
+            in_ordering,
+            in_hot_path,
+            &manifest_paths,
+            &mut report,
+        );
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Lint one file's source. Exposed for fixture tests; `rel` is the path
+/// reported in spans, `manifest_paths` the claimed L4 entries.
+pub fn lint_file(
+    rel: &str,
+    src: &str,
+    in_ordering_dir: bool,
+    in_hot_path_dir: bool,
+    manifest_paths: &[String],
+    report: &mut Report,
+) {
+    let lines = lex(src);
+    let test_start = test_region_start(&lines).unwrap_or(lines.len());
+    let code = &lines[..test_start];
+
+    let mut uses_atomics = false;
+    let mut ord_covered = false;
+    for (idx, line) in code.iter().enumerate() {
+        if line.comment.contains("ord:") {
+            ord_covered = true;
+        }
+
+        // L3: direct atomic imports bypass the loom-switched facade.
+        if line.code.contains("std::sync::atomic") || line.code.contains("core::sync::atomic") {
+            uses_atomics = true;
+            emit(
+                report,
+                &lines,
+                idx,
+                "L3",
+                rel,
+                format!(
+                    "direct atomic import bypasses the ft-sync facade \
+                     (use `ft_sync::atomic`, which switches to loom under \
+                     `--cfg loom`): `{}`",
+                    line.code.trim()
+                ),
+            );
+        }
+        if line.code.contains("ft_sync::atomic") {
+            uses_atomics = true;
+        }
+
+        // L1: unsafe must be justified by an adjacent SAFETY comment.
+        if has_word(&line.code, "unsafe") {
+            let above = block_comment_above(&lines, idx);
+            let here = &line.comment;
+            let justified =
+                above.contains("SAFETY:") || above.contains("# Safety") || here.contains("SAFETY:");
+            if !justified {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    "L1",
+                    rel,
+                    format!(
+                        "`unsafe` without an immediately preceding \
+                         `// SAFETY:` comment stating the invariant: `{}`",
+                        line.code.trim()
+                    ),
+                );
+            }
+        }
+
+        // L2: non-SeqCst orderings need an `// ord:` justification tag
+        // covering the contiguous run of atomic accesses.
+        let orderings = ordering_tokens(&line.code);
+        if !orderings.is_empty() {
+            let weak: Vec<&str> = orderings
+                .iter()
+                .copied()
+                .filter(|o| *o != "SeqCst")
+                .collect();
+            if in_ordering_dir && !weak.is_empty() && !ord_covered {
+                emit(
+                    report,
+                    &lines,
+                    idx,
+                    "L2",
+                    rel,
+                    format!(
+                        "non-SeqCst ordering without an `// ord:` \
+                         justification tag (see docs/ALGORITHM.md \
+                         \"Ordering discipline\"): Ordering::{}",
+                        weak.join(", Ordering::")
+                    ),
+                );
+            }
+        } else {
+            // A statement-ending code line with no atomic access closes
+            // the run an `// ord:` tag covers; mid-statement continuation
+            // lines (method chains) keep it open.
+            let t = line.code.trim_end();
+            if !t.trim().is_empty() && (t.ends_with(';') || t.ends_with('{') || t.ends_with('}')) {
+                ord_covered = false;
+            }
+        }
+
+        // L5: scheduler hot paths must propagate errors, not abort.
+        if in_hot_path_dir && (line.code.contains(".unwrap()") || line.code.contains(".expect(")) {
+            emit(
+                report,
+                &lines,
+                idx,
+                "L5",
+                rel,
+                format!(
+                    "`unwrap()`/`expect()` in a scheduler hot path: `{}`",
+                    line.code.trim()
+                ),
+            );
+        }
+    }
+
+    // L4: files with atomics must be claimed by the loom-coverage manifest.
+    if uses_atomics && !manifest_paths.iter().any(|p| p == rel) {
+        report.violations.push(Violation {
+            rule: "L4",
+            file: rel.to_string(),
+            line: 1,
+            message: format!(
+                "file uses atomics but has no entry in the loom-coverage \
+                 manifest (docs/LOOM_COVERAGE.toml); claim it with a \
+                 `[[entry]]` whose path = \"{rel}\""
+            ),
+        });
+    }
+}
+
+/// Record a finding, downgrading it to a waiver when one applies.
+fn emit(
+    report: &mut Report,
+    lines: &[Line],
+    idx: usize,
+    rule: &'static str,
+    rel: &str,
+    message: String,
+) {
+    if let Some(reason) = waiver_reason(lines, idx, rule) {
+        report.waivers.push(Waiver {
+            rule,
+            file: rel.to_string(),
+            line: idx + 1,
+            reason,
+        });
+    } else {
+        report.violations.push(Violation {
+            rule,
+            file: rel.to_string(),
+            line: idx + 1,
+            message,
+        });
+    }
+}
+
+/// Text of the contiguous comment block immediately above `idx`,
+/// skipping attribute-only lines (so `#[inline]` between the comment and
+/// the item does not sever them).
+fn block_comment_above(lines: &[Line], idx: usize) -> String {
+    let mut text = String::new();
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        if l.is_comment_only() || l.is_attr_only() {
+            let _ = write!(text, "{} ", l.comment);
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// The waiver reason for `rule` at line `idx`, if a well-formed
+/// `ft-lint: allow(RULE) <reason>` comment covers it (same line or in the
+/// comment block immediately above). A waiver without a reason is invalid
+/// and does not suppress.
+fn waiver_reason(lines: &[Line], idx: usize, rule: &str) -> Option<String> {
+    let needle = format!("ft-lint: allow({rule})");
+    let probe = |comment: &str| -> Option<String> {
+        let at = comment.find(&needle)?;
+        let reason = comment[at + needle.len()..].trim();
+        (!reason.is_empty()).then(|| reason.to_string())
+    };
+    if let Some(r) = probe(&lines[idx].comment) {
+        return Some(r);
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        if l.is_comment_only() || l.is_attr_only() {
+            if let Some(r) = probe(&l.comment) {
+                return Some(r);
+            }
+        } else {
+            break;
+        }
+    }
+    None
+}
+
+/// All `Ordering::<Ident>` tokens on a code line.
+fn ordering_tokens(code: &str) -> Vec<&str> {
+    const KEY: &str = "Ordering::";
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(KEY) {
+        let at = start + pos + KEY.len();
+        let end = code[at..]
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map(|(k, _)| at + k)
+            .unwrap_or(code.len());
+        if end > at {
+            out.push(&code[at..end]);
+        }
+        start = end.max(at);
+    }
+    out
+}
+
+/// `path = "..."` values from the loom-coverage manifest. Hand-rolled
+/// (dependency-free) TOML subset: only `[[entry]]` tables with string
+/// `path` keys are consulted.
+fn read_manifest_paths(manifest: &Path) -> Vec<String> {
+    let Ok(src) = std::fs::read_to_string(manifest) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in src.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("path") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                let rest = rest.trim();
+                if rest.len() >= 2 && rest.starts_with('"') {
+                    if let Some(end) = rest[1..].find('"') {
+                        out.push(rest[1..1 + end].to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated (stable across platforms so
+/// manifest entries and JSON output never contain backslashes).
+fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Is `rel` (a `/`-separated relative path) under any of `dirs`?
+fn dir_match(rel: &str, dirs: &[PathBuf]) -> bool {
+    dirs.iter().any(|d| {
+        let d = d
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        rel == d || rel.starts_with(&format!("{d}/"))
+    })
+}
+
+impl Report {
+    /// Human-readable diagnostics, one finding per line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: {} {}", v.file, v.line, v.rule, v.message);
+        }
+        for w in &self.waivers {
+            let _ = writeln!(
+                out,
+                "{}:{}: {} waived: {}",
+                w.file, w.line, w.rule, w.reason
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ft-lint: {} file(s) scanned, {} violation(s), {} waiver(s)",
+            self.files_scanned,
+            self.violations.len(),
+            self.waivers.len()
+        );
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled; no dependencies).
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                v.rule,
+                esc(&v.file),
+                v.line,
+                esc(&v.message)
+            );
+        }
+        out.push_str("\n  ],\n  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+                if i == 0 { "" } else { "," },
+                w.rule,
+                esc(&w.file),
+                w.line,
+                esc(&w.reason)
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"files_scanned\": {}\n}}\n",
+            self.files_scanned
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str, ordering: bool, hot: bool) -> Report {
+        let mut r = Report::default();
+        lint_file("test.rs", src, ordering, hot, &[], &mut r);
+        r
+    }
+
+    #[test]
+    fn l1_flags_bare_unsafe_and_accepts_safety() {
+        let r = lint_str("fn f() { unsafe { g() } }\n", false, false);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "L1");
+
+        let ok = "// SAFETY: g is sound here because reasons.\nfn f() { unsafe { g() } }\n";
+        assert!(lint_str(ok, false, false).violations.is_empty());
+    }
+
+    #[test]
+    fn l1_accepts_doc_safety_section_through_attrs() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n/// Caller upholds X.\n#[inline]\npub unsafe fn f() {}\n";
+        assert!(lint_str(src, false, false).violations.is_empty());
+    }
+
+    #[test]
+    fn l2_requires_and_honors_ord_tags() {
+        let bad = "fn f(a: &A) { a.x.store(1, Ordering::Release); }\n";
+        let r = lint_str(bad, true, false);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "L2");
+
+        let ok = "fn f(a: &A) {\n    // ord: Release — publishes x to the reader's Acquire.\n    a.x.store(1, Ordering::Release);\n}\n";
+        assert!(lint_str(ok, true, false).violations.is_empty());
+
+        // SeqCst needs no tag; outside ordering dirs nothing is checked.
+        assert!(lint_str(
+            "fn f(a: &A) { a.x.store(1, Ordering::SeqCst); }",
+            true,
+            false
+        )
+        .violations
+        .is_empty());
+        assert!(lint_str(bad, false, false).violations.is_empty());
+    }
+
+    #[test]
+    fn l2_tag_covers_contiguous_run_but_not_past_plain_statements() {
+        let src = "fn f(a: &A) {\n    // ord: Acquire/Relaxed — cluster justified.\n    let x = a.x.load(Ordering::Acquire);\n    let y = a.y.load(Ordering::Relaxed);\n    let z = x + y;\n    a.x.store(z, Ordering::Release);\n}\n";
+        let r = lint_str(src, true, false);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].line, 6);
+    }
+
+    #[test]
+    fn l2_multiline_chain_stays_covered() {
+        let src = "fn f(a: &A) {\n    // ord: AcqRel success / Relaxed failure — CAS publishes.\n    let won = a\n        .x\n        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)\n        .is_ok();\n}\n";
+        assert!(lint_str(src, true, false).violations.is_empty());
+    }
+
+    #[test]
+    fn l3_flags_direct_import_and_facade_passes() {
+        let r = lint_str("use std::sync::atomic::AtomicUsize;\n", false, false);
+        assert_eq!(r.violations.len(), 2, "L3 plus unclaimed-L4");
+        assert_eq!(r.violations[0].rule, "L3");
+        assert_eq!(r.violations[1].rule, "L4");
+
+        let mut r = Report::default();
+        lint_file(
+            "test.rs",
+            "use ft_sync::atomic::AtomicUsize;\n",
+            false,
+            false,
+            &["test.rs".to_string()],
+            &mut r,
+        );
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn l5_flags_unwrap_and_waiver_suppresses_with_reason() {
+        let r = lint_str("fn f() { x().unwrap(); }\n", false, true);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, "L5");
+
+        let waived =
+            "// ft-lint: allow(L5) unreachable: x is checked above.\nfn f() { x().unwrap(); }\n";
+        let r = lint_str(waived, false, true);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.waivers.len(), 1);
+        assert_eq!(r.waivers[0].rule, "L5");
+
+        // A reason-less waiver does not suppress.
+        let bad = "// ft-lint: allow(L5)\nfn f() { x().unwrap(); }\n";
+        assert_eq!(lint_str(bad, false, true).violations.len(), 1);
+    }
+
+    #[test]
+    fn rules_skip_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicUsize;\n    fn g() { unsafe { h() } }\n}\n";
+        assert!(lint_str(src, true, true).violations.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let src = "fn f() { let s = \"unsafe Ordering::Relaxed\"; } // unsafe\n";
+        assert!(lint_str(src, true, false).violations.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let mut r = Report::default();
+        lint_file(
+            "a.rs",
+            "fn f() { unsafe { g(\"q\\\"\") } }\n",
+            false,
+            false,
+            &[],
+            &mut r,
+        );
+        let json = r.render_json();
+        assert!(json.contains("\"rule\": \"L1\""));
+        assert!(json.contains("\"files_scanned\": 0"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Fixture-based self-tests: each bad fixture must fail with exactly its
+//! rule ID at the expected span, each good fixture must pass, and a waiver
+//! comment must suppress (while staying reported as a waiver).
+
+use ft_lint::{lint_file, Report};
+use std::path::Path;
+
+/// Lint one fixture file. `claimed` controls whether the fixture is listed
+/// in the (synthetic) loom-coverage manifest, so L4 only fires when a test
+/// wants it to.
+fn lint_fixture(name: &str, ordering: bool, hot: bool, claimed: bool) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let manifest = if claimed {
+        vec![name.to_string()]
+    } else {
+        Vec::new()
+    };
+    let mut report = Report::default();
+    lint_file(name, &src, ordering, hot, &manifest, &mut report);
+    report
+}
+
+#[test]
+fn bad_l1_missing_safety() {
+    let r = lint_fixture("bad/l1_missing_safety.rs", false, false, true);
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.rule, "L1");
+    assert_eq!(v.file, "bad/l1_missing_safety.rs");
+    assert_eq!(v.line, 5, "span points at the unsafe block");
+    assert!(r.waivers.is_empty());
+}
+
+#[test]
+fn bad_l2_untagged_ordering() {
+    let r = lint_fixture("bad/l2_untagged_ordering.rs", true, false, true);
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.rule, "L2");
+    assert_eq!(v.line, 6, "span points at the untagged store");
+    assert!(v.message.contains("Ordering::Release"));
+}
+
+#[test]
+fn bad_l3_direct_atomic_import() {
+    let r = lint_fixture("bad/l3_direct_atomic_import.rs", false, false, true);
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.rule, "L3");
+    assert_eq!(v.line, 3, "span points at the import");
+}
+
+#[test]
+fn bad_l4_unclaimed_atomics() {
+    let r = lint_fixture("bad/l4_unclaimed_atomics.rs", false, false, false);
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.rule, "L4");
+    assert!(v.message.contains("LOOM_COVERAGE"));
+    // The same file claimed in the manifest is clean.
+    let r = lint_fixture("bad/l4_unclaimed_atomics.rs", false, false, true);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn bad_l5_unwrap_in_hot_path() {
+    let r = lint_fixture("bad/l5_unwrap_in_hot_path.rs", false, true, true);
+    assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.rule, "L5");
+    assert_eq!(v.line, 4, "span points at the unwrap call");
+    // Outside the hot-path dirs the same code is fine.
+    let r = lint_fixture("bad/l5_unwrap_in_hot_path.rs", false, false, true);
+    assert!(r.violations.is_empty());
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for name in [
+        "good/l1_safety_comment.rs",
+        "good/l2_ord_tags.rs",
+        "good/l3_facade_import.rs",
+    ] {
+        let r = lint_fixture(name, true, true, true);
+        assert!(r.violations.is_empty(), "{name}: {:?}", r.violations);
+        assert!(r.waivers.is_empty(), "{name}: {:?}", r.waivers);
+    }
+}
+
+#[test]
+fn waiver_suppresses_but_stays_reported() {
+    let r = lint_fixture("good/l5_waived_unwrap.rs", false, true, true);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.waivers.len(), 1);
+    let w = &r.waivers[0];
+    assert_eq!(w.rule, "L5");
+    assert_eq!(w.line, 7, "span points at the waived unwrap");
+    assert!(w.reason.contains("programming error") || !w.reason.is_empty());
+}
+
+#[test]
+fn json_report_round_trips_rule_ids() {
+    let r = lint_fixture("bad/l1_missing_safety.rs", false, false, true);
+    let json = r.render_json();
+    assert!(json.contains("\"rule\": \"L1\""));
+    assert!(json.contains("\"file\": \"bad/l1_missing_safety.rs\""));
+    assert!(json.contains("\"line\": 5"));
+}

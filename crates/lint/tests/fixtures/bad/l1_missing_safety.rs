@@ -1,0 +1,6 @@
+//! Bad fixture for L1: an `unsafe` block with no SAFETY comment.
+
+fn deref(p: *const u32) -> u32 {
+    // A comment that is not a safety justification.
+    unsafe { *p }
+}

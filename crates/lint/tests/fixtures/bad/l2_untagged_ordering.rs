@@ -1,0 +1,7 @@
+//! Bad fixture for L2: a non-SeqCst ordering with no `// ord:` tag.
+
+use ft_sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release);
+}

@@ -1,0 +1,5 @@
+//! Bad fixture for L3: importing atomics directly instead of via ft-sync.
+
+use std::sync::atomic::AtomicBool;
+
+pub static READY: AtomicBool = AtomicBool::new(false);

@@ -1,0 +1,8 @@
+//! Bad fixture for L4: uses atomics but is not claimed in the
+//! loom-coverage manifest the test supplies.
+
+use ft_sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst);
+}

@@ -1,0 +1,5 @@
+//! Bad fixture for L5: `unwrap()` on a scheduler hot path.
+
+pub fn hot(map: &Map) -> Task {
+    map.get(7).unwrap()
+}

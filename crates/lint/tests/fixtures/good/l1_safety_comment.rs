@@ -1,0 +1,18 @@
+//! Good fixture for L1: every unsafe site carries its justification.
+
+// SAFETY: the caller guarantees `p` points at a live, aligned u32 for the
+// duration of the call (upheld by the owning container's borrow rules).
+fn deref(p: *const u32) -> u32 {
+    // SAFETY: see the function-level invariant above; `p` is live here.
+    unsafe { *p }
+}
+
+/// Reads a raw slot.
+///
+/// # Safety
+/// `idx` must be in bounds of the table the caller owns.
+#[inline]
+pub unsafe fn read_slot(base: *const u32, idx: usize) -> u32 {
+    // SAFETY: in-bounds per this function's contract.
+    unsafe { *base.add(idx) }
+}

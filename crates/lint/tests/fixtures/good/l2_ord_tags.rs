@@ -1,0 +1,22 @@
+//! Good fixture for L2: tags cover clusters, chains, and SeqCst is free.
+
+use ft_sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(flag: &AtomicUsize, data: &AtomicUsize) {
+    // ord: Relaxed — data is owned by this thread until published below.
+    data.store(42, Ordering::Relaxed);
+    // ord: Release — publishes the data store to the reader's Acquire.
+    flag.store(1, Ordering::Release);
+}
+
+pub fn contended_claim(state: &AtomicUsize) -> bool {
+    // ord: AcqRel success / Relaxed failure — a won CAS acquires the prior
+    // owner's release; a lost one retries without reading guarded state.
+    state
+        .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+}
+
+pub fn totally_ordered(state: &AtomicUsize) -> usize {
+    state.load(Ordering::SeqCst)
+}

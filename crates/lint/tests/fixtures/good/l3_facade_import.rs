@@ -1,0 +1,7 @@
+//! Good fixture for L3: atomics come through the loom-switched facade.
+
+use ft_sync::atomic::{AtomicBool, Ordering};
+
+pub fn set(ready: &AtomicBool) {
+    ready.store(true, Ordering::SeqCst);
+}

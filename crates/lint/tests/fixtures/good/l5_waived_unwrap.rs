@@ -1,0 +1,8 @@
+//! Good fixture for L5: a waiver with a reason suppresses the finding
+//! (and is reported as a waiver, keeping it auditable).
+
+pub fn hot(map: &Map) -> Task {
+    // ft-lint: allow(L5) the key was inserted two lines above under the
+    // same lock; absence is a programming error worth aborting on.
+    map.get(7).unwrap()
+}

@@ -1,0 +1,54 @@
+//! The workspace must stay lint-clean: this test runs the real policy over
+//! the real tree, so `cargo test` fails the moment a PR erodes the
+//! SAFETY/ordering discipline — the same gate CI runs via
+//! `cargo run -p ft-lint -- --deny`.
+
+use ft_lint::{run, Config};
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run(&Config::workspace(workspace_root())).expect("lint run");
+    assert!(
+        report.violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report.files_scanned > 20,
+        "suspiciously few files scanned ({}) — runtime dirs moved?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn no_l1_waivers_anywhere() {
+    // Acceptance bar from the issue: every unsafe site has a real SAFETY
+    // comment; waiving L1 is not an accepted escape hatch.
+    let report = run(&Config::workspace(workspace_root())).expect("lint run");
+    let l1: Vec<_> = report.waivers.iter().filter(|w| w.rule == "L1").collect();
+    assert!(l1.is_empty(), "L1 must not be waived: {l1:?}");
+}
+
+#[test]
+fn deny_mode_binary_exits_zero_on_workspace() {
+    // Shell the actual binary, exactly as CI does.
+    let out = Command::new(env!("CARGO_BIN_EXE_ft-lint"))
+        .args(["--deny", "--json", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn ft-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "ft-lint --deny failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("\"violations\": ["));
+    assert!(stdout.contains("\"files_scanned\""));
+}

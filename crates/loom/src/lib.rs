@@ -208,6 +208,7 @@ pub mod sync {
         }
 
         shim_int_atomic!(AtomicIsize, std::sync::atomic::AtomicIsize, isize);
+        shim_int_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
         shim_int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
         shim_int_atomic!(AtomicI64, std::sync::atomic::AtomicI64, i64);
         shim_int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);

@@ -14,13 +14,15 @@
 //! Elements are stored by value in `MaybeUninit` slots. The ABA-free
 //! `top` counter is monotonically increasing, so a slot is logically owned
 //! by exactly one successful `steal`/`pop`.
+//!
+//! Every atomic access below carries an `// ord:` tag and every `unsafe`
+//! site a `// SAFETY:` comment; `ft-lint` rules L1/L2 enforce this (see
+//! `docs/LINTS.md` and the ordering-discipline section of
+//! `docs/ALGORITHM.md`).
 
-#[cfg(loom)]
-use loom::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use ft_sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-#[cfg(not(loom))]
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 use std::sync::Arc;
 
 /// Initial capacity (must be a power of two).
@@ -36,7 +38,14 @@ struct Buffer<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
+// SAFETY: a Buffer is inert slot storage; the values inside move across
+// threads only via the deque protocol, so sending the storage requires
+// exactly `T: Send`.
 unsafe impl<T: Send> Send for Buffer<T> {}
+// SAFETY: concurrent access to the cells is arbitrated externally by the
+// `top`/`bottom` protocol (each logical index has a unique writer and a
+// unique consumer); the buffer never hands out `&T`, so `T: Sync` is not
+// required.
 unsafe impl<T: Send> Sync for Buffer<T> {}
 
 impl<T> Buffer<T> {
@@ -61,6 +70,8 @@ impl<T> Buffer<T> {
     /// writes, and only at `bottom`).
     unsafe fn put(&self, i: isize, v: T) {
         let slot = &self.slots[(i as usize) & self.mask];
+        // SAFETY: per this fn's contract the caller is the unique writer of
+        // this slot for index `i`, so no other access aliases the cell now.
         unsafe { (*slot.get()).write(v) };
     }
 
@@ -72,6 +83,8 @@ impl<T> Buffer<T> {
     /// `top` arbitrates ownership among thieves and the owner).
     unsafe fn take(&self, i: isize) -> T {
         let slot = &self.slots[(i as usize) & self.mask];
+        // SAFETY: per this fn's contract the slot is initialized for index
+        // `i` and this is the at-most-once consuming read of it.
         unsafe { (*slot.get()).assume_init_read() }
     }
 }
@@ -107,15 +120,28 @@ struct Inner<T> {
     retired: UnsafeCell<Vec<*mut Buffer<T>>>,
 }
 
+// SAFETY: the Arc<Inner> is dropped on an arbitrary thread; every field it
+// owns (buffers, queued T values, retired pointers) is safe to move given
+// `T: Send`, and the `retired` cell is only touched by the unique owner.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: shared access goes through the atomics plus the slot-ownership
+// protocol; `retired` is written only by the unique `Worker` owner, so no
+// two threads ever touch it concurrently.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
         // Drop any elements still in the deque.
+        // ord: Relaxed — `&mut self` proves exclusivity; whoever dropped the
+        // last handle synchronized with all prior accesses via the Arc
+        // refcount's Release/Acquire.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         let buf = self.buf.load(Ordering::Relaxed);
+        // SAFETY: exclusive access: indices `t..b` are exactly the
+        // initialized, unconsumed slots, and no thief can still hold a
+        // buffer pointer (the pool joins its workers before dropping), so
+        // freeing the current and retired buffers cannot race.
         unsafe {
             for i in t..b {
                 drop((*buf).take(i));
@@ -133,9 +159,31 @@ pub struct Worker<T> {
     inner: Arc<Inner<T>>,
 }
 
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ord: Relaxed — advisory size for diagnostics only.
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Relaxed);
+        f.debug_struct("Worker")
+            .field("len", &b.wrapping_sub(t).max(0))
+            .finish()
+    }
+}
+
 /// Thief handle: steal from the top. Cheaply cloneable.
 pub struct Stealer<T> {
     inner: Arc<Inner<T>>,
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ord: Relaxed — advisory size for diagnostics only.
+        let t = self.inner.top.load(Ordering::Relaxed);
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        f.debug_struct("Stealer")
+            .field("len", &b.wrapping_sub(t).max(0))
+            .finish()
+    }
 }
 
 impl<T> Clone for Stealer<T> {
@@ -163,25 +211,39 @@ pub fn deque<T: Send>() -> (Worker<T>, Stealer<T>) {
     )
 }
 
+// SAFETY: a Worker may be moved to the thread that will own the deque; the
+// owner-only state it reaches (`retired`, bottom-side writes) is unique to
+// the single Worker handle, so `T: Send` suffices.
 unsafe impl<T: Send> Send for Worker<T> {}
 
 impl<T: Send> Worker<T> {
     /// Push a value at the bottom. Owner-only.
     pub fn push(&self, v: T) {
         let inner = &*self.inner;
+        // ord: Relaxed/Acquire/Relaxed — only the owner writes `bottom` and
+        // `buf`, so it may read its own last stores relaxed; Acquire on
+        // `top` pairs with thieves' Release-free CAS retirement of indices
+        // so the owner sees which slots are free to reuse (LPCN'13 push).
         let b = inner.bottom.load(Ordering::Relaxed);
         let t = inner.top.load(Ordering::Acquire);
         let mut buf = inner.buf.load(Ordering::Relaxed);
 
         let len = b.wrapping_sub(t);
+        // SAFETY: the owner is the unique writer at index `b`: thieves only
+        // consume indices below `bottom`, and `grow` republishes the live
+        // range before the new slot is written.
         unsafe {
             if len >= (*buf).cap as isize {
                 self.grow(b, t);
+                // ord: Relaxed — reading back the pointer this same thread
+                // just stored in `grow`.
                 buf = inner.buf.load(Ordering::Relaxed);
             }
             (*buf).put(b, v);
         }
-        // Release: the value write must be visible before the new bottom.
+        // ord: Release fence + Relaxed store — the slot write above must be
+        // visible before the incremented `bottom` is; pairs with the
+        // thief's Acquire load of `bottom` in `steal`.
         fence(Ordering::Release);
         inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
     }
@@ -189,31 +251,43 @@ impl<T: Send> Worker<T> {
     /// Pop a value from the bottom (LIFO). Owner-only.
     pub fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
+        // ord: Relaxed — owner reads/writes its own `bottom` and `buf`; the
+        // SeqCst fence below is what orders the decrement against thieves.
         let b = inner.bottom.load(Ordering::Relaxed).wrapping_sub(1);
         let buf = inner.buf.load(Ordering::Relaxed);
         inner.bottom.store(b, Ordering::Relaxed);
-        // Full barrier: the bottom decrement must be globally visible before
-        // reading top (the crux of the Chase-Lev protocol).
+        // ord: SeqCst fence — the bottom decrement must be globally visible
+        // before reading `top` (the crux of Chase-Lev: pairs with the
+        // thief's top-read/bottom-read fence); `top` itself can then be
+        // read Relaxed because the fence orders it.
         fence(Ordering::SeqCst);
         let t = inner.top.load(Ordering::Relaxed);
 
         let len = b.wrapping_sub(t);
         if len < 0 {
-            // Deque was empty; restore bottom.
+            // ord: Relaxed — restoring our own speculative decrement; no
+            // other thread writes `bottom`.
             inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
             return None;
         }
-        // Non-empty: speculatively read the element.
+        // SAFETY: `t <= b < old bottom` means index `b` was published by a
+        // completed push; if thieves race us for the last element the CAS
+        // below decides ownership, and the loser forgets its copy.
         let v = unsafe { (*buf).take(b) };
         if len > 0 {
             // More than one element; no thief can race for index b.
             return Some(v);
         }
         // Exactly one element: race with thieves via CAS on top.
+        // ord: SeqCst success / Relaxed failure — the CAS participates in
+        // the same total order as the fences; on failure we only learn we
+        // lost and read nothing guarded by `top`.
         let won = inner
             .top
             .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
             .is_ok();
+        // ord: Relaxed — only the owner writes bottom; restoring it to the
+        // empty position needs no ordering (thieves re-validate via top).
         inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
         if won {
             Some(v)
@@ -228,6 +302,7 @@ impl<T: Send> Worker<T> {
     /// Number of elements currently visible to the owner (approximate for
     /// outside observers, exact for the owner between operations).
     pub fn len(&self) -> usize {
+        // ord: Relaxed — advisory size; callers tolerate a stale snapshot.
         let b = self.inner.bottom.load(Ordering::Relaxed);
         let t = self.inner.top.load(Ordering::Relaxed);
         b.wrapping_sub(t).max(0) as usize
@@ -251,7 +326,13 @@ impl<T: Send> Worker<T> {
     /// slots of it. `top`..`bottom` elements are copied to the new buffer.
     fn grow(&self, b: isize, t: isize) {
         let inner = &*self.inner;
+        // ord: Relaxed — only the owner replaces `buf`; it reads its own
+        // last published pointer.
         let old = inner.buf.load(Ordering::Relaxed);
+        // SAFETY: the owner has exclusive write access to the new (still
+        // private) buffer, the bit-copies only duplicate slots whose
+        // ownership stays with the deque, and the old buffer is retired —
+        // not freed — because a thief may still be reading it.
         unsafe {
             let new = Box::into_raw(Buffer::new((*old).cap * 2));
             for i in t..b {
@@ -260,6 +341,8 @@ impl<T: Send> Worker<T> {
                 let slot_new = &(*new).slots[(i as usize) & (*new).mask];
                 std::ptr::copy_nonoverlapping(slot_old.get(), slot_new.get(), 1);
             }
+            // ord: Release — the copied slot contents must be visible before
+            // the new buffer pointer; pairs with the thief's Acquire load.
             inner.buf.store(new, Ordering::Release);
             (*inner.retired.get()).push(old);
         }
@@ -270,18 +353,27 @@ impl<T: Send> Stealer<T> {
     /// Attempt to steal one element from the top (FIFO).
     pub fn steal(&self) -> Steal<T> {
         let inner = &*self.inner;
+        // ord: Acquire on `top` (pairs with competing CAS publications),
+        // then a SeqCst fence ordering the top read before the bottom read
+        // (mirrors the owner's pop fence), then Acquire on `bottom` pairing
+        // with the owner's Release fence in `push` so the slot write at
+        // `t` is visible before we read it.
         let t = inner.top.load(Ordering::Acquire);
-        // Order the read of top before the read of bottom.
         fence(Ordering::SeqCst);
         let b = inner.bottom.load(Ordering::Acquire);
         if b.wrapping_sub(t) <= 0 {
             return Steal::Empty;
         }
-        // Read the buffer pointer *after* observing non-empty; Acquire pairs
-        // with the owner's Release store in `grow`.
+        // ord: Acquire — read the buffer pointer *after* observing
+        // non-empty; pairs with the owner's Release store in `grow` so the
+        // copied slots are visible through the new pointer.
         let buf = inner.buf.load(Ordering::Acquire);
-        // Speculatively read the element, then confirm ownership via CAS.
+        // SAFETY: `t < b` means index `t` holds a published value; the CAS
+        // below arbitrates ownership, and on loss we forget the speculative
+        // copy without dropping it.
         let v = unsafe { (*buf).take(t) };
+        // ord: SeqCst success / Relaxed failure — success joins the fence
+        // total order claiming index `t`; failure reads nothing guarded.
         if inner
             .top
             .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
@@ -297,6 +389,7 @@ impl<T: Send> Stealer<T> {
 
     /// Approximate number of elements.
     pub fn len(&self) -> usize {
+        // ord: Relaxed — advisory size; callers tolerate a stale snapshot.
         let t = self.inner.top.load(Ordering::Relaxed);
         let b = self.inner.bottom.load(Ordering::Relaxed);
         b.wrapping_sub(t).max(0) as usize
@@ -311,8 +404,8 @@ impl<T: Send> Stealer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ft_sync::atomic::AtomicUsize;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicUsize;
     use std::thread;
 
     #[test]
@@ -478,7 +571,7 @@ mod tests {
         const N: usize = 50_000;
         let (w, s) = deque::<usize>();
         let stolen = std::sync::Arc::new(AtomicUsize::new(0));
-        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done = std::sync::Arc::new(ft_sync::atomic::AtomicBool::new(false));
 
         thread::scope(|scope| {
             for _ in 0..3 {

@@ -31,19 +31,20 @@
 //!   `crates/core/tests/alloc_count.rs`).
 //!
 //! [`Injector::steal_batch_and_pop`] claims up to half a block with one
-//! CAS and moves the surplus into the caller's local Chase–Lev deque, so a
+//! CAS and moves the surplus into the caller's Chase–Lev deque, so a
 //! burst of external submissions costs one shared-counter CAS per ~16 jobs
 //! instead of one mutex acquisition per job.
+//!
+//! Every atomic access below carries an `// ord:` tag and every `unsafe`
+//! site a `// SAFETY:` comment; `ft-lint` rules L1/L2 enforce this (see
+//! `docs/LINTS.md`).
 
 use crate::deque::Worker;
 use crate::metrics::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 
-#[cfg(loom)]
-use loom::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-#[cfg(not(loom))]
-use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use ft_sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Indices per lap; one lap maps onto one block.
 const LAP: u64 = 32;
@@ -91,9 +92,13 @@ impl<T> Block<T> {
     /// Reset a fully consumed block for reuse. Caller must own the block
     /// exclusively (done == BLOCK_CAP and head has moved past it).
     fn reset(&self) {
+        // ord: Relaxed — the caller owns the block exclusively (done hit
+        // BLOCK_CAP); publication to the next producer happens via the
+        // cache slot's Release CAS in `recycle`.
         self.next.store(std::ptr::null_mut(), Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
         for slot in &self.slots {
+            // ord: Relaxed — exclusively owned, as above.
             slot.state.store(STATE_EMPTY, Ordering::Relaxed);
         }
     }
@@ -117,10 +122,21 @@ pub struct Injector<T> {
     cache: [AtomicPtr<Block<T>>; CACHE_SLOTS],
 }
 
-// Safety: values move producer→consumer across threads (`T: Send`); all
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+// SAFETY: values move producer→consumer across threads (`T: Send`); all
 // shared internals are atomics, and slot cells are accessed only by the
 // unique index claimant per the protocol above.
 unsafe impl<T: Send> Send for Injector<T> {}
+// SAFETY: same argument as `Send` — every slot cell has exactly one
+// producer and one consumer (the index claimants), so `&Injector` shared
+// across threads never yields aliased cell access.
 unsafe impl<T: Send> Sync for Injector<T> {}
 
 impl<T> Default for Injector<T> {
@@ -154,6 +170,9 @@ impl<T> Injector<T> {
     /// Take a cached block or allocate a fresh one.
     fn next_block(&self) -> *mut Block<T> {
         for slot in &self.cache {
+            // ord: Acquire — pairs with the Release CAS in `recycle` so the
+            // recycler's `reset` stores are visible before we reuse the
+            // block.
             let cached = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
             if !cached.is_null() {
                 return cached; // already reset by the recycler
@@ -165,8 +184,14 @@ impl<T> Injector<T> {
     /// Park a fully consumed block in the cache, or free it if the cache
     /// is full. Caller must own the block exclusively.
     fn recycle(&self, block: *mut Block<T>) {
+        // SAFETY: the caller owns the block exclusively (it brought `done`
+        // to BLOCK_CAP after the head moved past the block), so resetting
+        // its slots cannot race with any producer or consumer.
         unsafe { (*block).reset() };
         for slot in &self.cache {
+            // ord: Release success (publishes the reset stores to the next
+            // `next_block` Acquire) / Relaxed failure (occupied slot, we
+            // learn nothing).
             if slot
                 .compare_exchange(
                     std::ptr::null_mut(),
@@ -179,6 +204,8 @@ impl<T> Injector<T> {
                 return;
             }
         }
+        // SAFETY: exclusive ownership (same argument as above) and the block
+        // was never parked in the cache, so this is the only free of it.
         drop(unsafe { Box::from_raw(block) });
     }
 
@@ -187,6 +214,9 @@ impl<T> Injector<T> {
     /// installs the next block.
     pub fn push(&self, value: T) {
         loop {
+            // ord: Acquire — pairs with the installer's Release stores of
+            // `tail.index`/`tail.block` so a producer that sees a new lap
+            // also sees the installed block.
             let tail = self.tail.index.load(Ordering::Acquire);
             let offset = (tail % LAP) as usize;
             if offset == BLOCK_CAP {
@@ -195,7 +225,13 @@ impl<T> Injector<T> {
                 std::hint::spin_loop();
                 continue;
             }
+            // ord: Acquire — the block pointer is validated by the index CAS
+            // below (it changes only together with a lap crossing); Acquire
+            // pairs with the installer's Release publication.
             let block = self.tail.block.load(Ordering::Acquire);
+            // ord: SeqCst success / Relaxed failure — the successful claim
+            // must be totally ordered against `claim`'s tail read (emptiness
+            // detection); a failed CAS only triggers a retry.
             if self
                 .tail
                 .index
@@ -205,21 +241,33 @@ impl<T> Injector<T> {
                 std::hint::spin_loop();
                 continue;
             }
-            // Index claimed: `block` is validated by the successful CAS
-            // (the pointer only changes together with a lap crossing, which
-            // would have changed the index and failed the CAS).
+            // SAFETY: the successful CAS makes this thread the unique
+            // claimant of index `tail`: `block` matches the index's lap (the
+            // pointer only changes together with a lap crossing, which would
+            // have changed the index and failed the CAS), and the block
+            // stays alive until its `done` count — which includes our slot —
+            // reaches BLOCK_CAP.
             let b = unsafe { &*block };
             if offset + 1 == BLOCK_CAP {
                 // We claimed the last slot: install the next block before
                 // publishing the value, so other producers unblock even if
                 // we are slow writing.
                 let next = self.next_block();
+                // ord: Release ×3 — the fresh block's contents must be
+                // visible before its pointer is reachable (via `next` for
+                // consumers, `tail.block` for producers), and both stores
+                // must precede the index store that unblocks spinning
+                // producers (they Acquire-load the index).
                 b.next.store(next, Ordering::Release);
                 self.tail.block.store(next, Ordering::Release);
-                // Skip the boundary index; releases spinning producers.
                 self.tail.index.store(tail + 2, Ordering::Release);
             }
+            // SAFETY: sole claimant of this slot (unique index): the
+            // consumer will not read the cell until the state flag below
+            // says WRITTEN.
             unsafe { (*b.slots[offset].value.get()).write(value) };
+            // ord: Release — publishes the value write to the consumer's
+            // Acquire spin on this flag in `consume`.
             b.slots[offset]
                 .state
                 .store(STATE_WRITTEN, Ordering::Release);
@@ -231,6 +279,8 @@ impl<T> Injector<T> {
     /// the first offset, and how many were claimed; `None` when empty.
     fn claim(&self, max: usize) -> Option<(*mut Block<T>, usize, usize)> {
         loop {
+            // ord: Acquire — pairs with the boundary-advancing consumer's
+            // Release stores of `head.index`/`head.block`.
             let head = self.head.index.load(Ordering::Acquire);
             let offset = (head % LAP) as usize;
             if offset == BLOCK_CAP {
@@ -251,7 +301,12 @@ impl<T> Injector<T> {
                 BLOCK_CAP - offset
             };
             let n = avail.min(max);
+            // ord: Acquire — validated by the successful index CAS below,
+            // same argument as the producer side.
             let block = self.head.block.load(Ordering::Acquire);
+            // ord: SeqCst success / Relaxed failure — the claim joins the
+            // same total order as the producer CAS and the emptiness check;
+            // failure only retries.
             if self
                 .head
                 .index
@@ -267,12 +322,20 @@ impl<T> Injector<T> {
                 // which has already passed the tail boundary — spin briefly
                 // for its store.
                 let next = loop {
+                    // SAFETY: we claimed slots of `block`, so its `done`
+                    // count cannot reach BLOCK_CAP (and recycle) before our
+                    // `consume` calls finish — the block outlives this read.
+                    // ord: Acquire — pairs with the installer's Release link
+                    // so the new block's contents are visible.
                     let p = unsafe { (*block).next.load(Ordering::Acquire) };
                     if !p.is_null() {
                         break p;
                     }
                     std::hint::spin_loop();
                 };
+                // ord: Release ×2 — the new head block pointer must be
+                // visible before the index store unblocks spinning
+                // consumers (they Acquire-load the index).
                 self.head.block.store(next, Ordering::Release);
                 self.head
                     .index
@@ -289,12 +352,23 @@ impl<T> Injector<T> {
     /// `(block, offset)` must come from a successful [`Injector::claim`]
     /// and be consumed exactly once.
     unsafe fn consume(&self, block: *mut Block<T>, offset: usize) -> T {
+        // SAFETY: per this fn's contract the claim CAS made us the unique
+        // consumer of this slot; the block stays alive until `done` (which
+        // counts our slot, below) reaches BLOCK_CAP.
         let b = unsafe { &*block };
         let slot = &b.slots[offset];
+        // ord: Acquire — pairs with the producer's Release store of
+        // STATE_WRITTEN so the value write is visible after the spin.
         while slot.state.load(Ordering::Acquire) != STATE_WRITTEN {
             std::hint::spin_loop();
         }
+        // SAFETY: the WRITTEN flag (acquired above) publishes the value;
+        // claim-uniqueness makes this the only consuming read of the cell.
         let value = unsafe { (*slot.value.get()).assume_init_read() };
+        // ord: AcqRel — the increment must happen-after our value read (so
+        // the recycler's reset cannot precede it) and the final increment
+        // acquires every other consumer's release, making the block
+        // exclusively ours before `recycle`.
         if b.done.fetch_add(1, Ordering::AcqRel) + 1 == BLOCK_CAP {
             // Every slot of this block has been produced and consumed, and
             // the head has moved past it: we own it exclusively.
@@ -308,6 +382,8 @@ impl<T> Injector<T> {
     pub fn steal(&self) -> Option<T> {
         let (block, offset, n) = self.claim(1)?;
         debug_assert_eq!(n, 1);
+        // SAFETY: `(block, offset)` comes from the successful claim above
+        // and is consumed exactly once.
         Some(unsafe { self.consume(block, offset) })
     }
 
@@ -318,8 +394,12 @@ impl<T> Injector<T> {
         T: Send,
     {
         let (block, offset, n) = self.claim(MAX_BATCH)?;
+        // SAFETY: the claim handed us offsets `offset..offset + n`; each is
+        // consumed exactly once (the first here, the rest in the loop).
         let first = unsafe { self.consume(block, offset) };
         for k in 1..n {
+            // SAFETY: as above — `offset + k` is within the claimed span
+            // and consumed exactly once.
             dest.push(unsafe { self.consume(block, offset + k) });
         }
         Some(first)
@@ -342,11 +422,15 @@ impl<T> Injector<T> {
 
 impl<T> Drop for Injector<T> {
     fn drop(&mut self) {
-        // Exclusive access: drop unconsumed values, then free the block
-        // chain and the cache.
+        // ord: Relaxed — `&mut self` proves exclusivity; all producers and
+        // consumers synchronized-with this thread before the drop.
         let mut head = self.head.index.load(Ordering::Relaxed);
         let tail = self.tail.index.load(Ordering::Relaxed);
         let mut block = self.head.block.load(Ordering::Relaxed);
+        // SAFETY: exclusive access: indices `head..tail` are exactly the
+        // produced-but-unconsumed slots (their producers finished before
+        // drop, so every such slot is written), the block chain and cache
+        // entries are disjoint allocations, and nothing else can free them.
         unsafe {
             while head < tail {
                 let offset = (head % LAP) as usize;
@@ -354,6 +438,7 @@ impl<T> Drop for Injector<T> {
                     // All producers finished before drop: slot is written.
                     (*(*block).slots[offset].value.get()).assume_init_drop();
                 } else {
+                    // ord: Relaxed — exclusive access, as above.
                     let next = (*block).next.load(Ordering::Relaxed);
                     drop(Box::from_raw(block));
                     block = next;
@@ -361,11 +446,13 @@ impl<T> Drop for Injector<T> {
                 head += 1;
             }
             while !block.is_null() {
+                // ord: Relaxed — exclusive access, as above.
                 let next = (*block).next.load(Ordering::Relaxed);
                 drop(Box::from_raw(block));
                 block = next;
             }
             for slot in &self.cache {
+                // ord: Relaxed — exclusive access, as above.
                 let cached = slot.load(Ordering::Relaxed);
                 if !cached.is_null() {
                     drop(Box::from_raw(cached));
@@ -379,7 +466,7 @@ impl<T> Drop for Injector<T> {
 mod tests {
     use super::*;
     use crate::deque;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use ft_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::thread;
 

@@ -9,11 +9,8 @@
 //! * [`CountLatch`] — counts outstanding jobs; trips at zero. The pool uses
 //!   it to detect quiescence of a `run_until_complete` scope.
 
-#[cfg(loom)]
-use loom::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
+use ft_sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 use parking_lot::{Condvar, Mutex};
-#[cfg(not(loom))]
-use std::sync::atomic::{AtomicBool, AtomicIsize, Ordering};
 
 /// One-shot boolean latch.
 #[derive(Default)]
@@ -21,6 +18,12 @@ pub struct Flag {
     set: AtomicBool,
     lock: Mutex<()>,
     condvar: Condvar,
+}
+
+impl std::fmt::Debug for Flag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Flag").field("set", &self.is_set()).finish()
+    }
 }
 
 impl Flag {
@@ -31,6 +34,10 @@ impl Flag {
 
     /// Set the flag and wake all waiters. Idempotent.
     pub fn set(&self) {
+        // ord: Release — publishes everything the setter did before `set`
+        // to the waiter's Acquire load in `is_set`; the mutex round-trip
+        // below additionally orders the store before `notify_all` so a
+        // concurrent `wait` cannot miss the wakeup.
         self.set.store(true, Ordering::Release);
         let _g = self.lock.lock();
         self.condvar.notify_all();
@@ -38,6 +45,7 @@ impl Flag {
 
     /// True once `set` has been called.
     pub fn is_set(&self) -> bool {
+        // ord: Acquire — pairs with the Release store in `set`.
         self.set.load(Ordering::Acquire)
     }
 
@@ -71,6 +79,14 @@ impl Default for CountLatch {
     }
 }
 
+impl std::fmt::Debug for CountLatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountLatch")
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
 impl CountLatch {
     /// New latch with zero outstanding items.
     pub fn new() -> Self {
@@ -84,12 +100,20 @@ impl CountLatch {
 
     /// Register one more outstanding item.
     pub fn increment(&self) {
+        // ord: Relaxed — `started` is monotone (false→true once) and only
+        // gates quiescence together with the count; the AcqRel RMW below
+        // orders it for any observer that sees the incremented count.
         self.started.store(true, Ordering::Relaxed);
+        // ord: AcqRel — increments and decrements form a single release
+        // sequence so the final decrement observes all prior updates.
         self.count.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Mark one item complete; wakes waiters when the count hits zero.
     pub fn decrement(&self) {
+        // ord: AcqRel — the decrement releases the completing job's writes
+        // and the final decrement acquires every earlier one, so the waiter
+        // woken at zero sees all completed work.
         let prev = self.count.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev >= 1, "CountLatch underflow");
         if prev == 1 {
@@ -100,11 +124,14 @@ impl CountLatch {
 
     /// Current outstanding count.
     pub fn outstanding(&self) -> isize {
+        // ord: Acquire — pairs with the AcqRel decrements so a zero read
+        // implies the completed jobs' writes are visible.
         self.count.load(Ordering::Acquire)
     }
 
     /// True if at least one item was registered and all have completed.
     pub fn is_quiescent(&self) -> bool {
+        // ord: Relaxed — monotone flag; see `increment`.
         self.started.load(Ordering::Relaxed) && self.outstanding() == 0
     }
 

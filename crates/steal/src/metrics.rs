@@ -6,12 +6,18 @@
 //! costs ~nothing on the hot path — the usual HPC rule that observability
 //! must not perturb the observed system.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use ft_sync::atomic::{AtomicU64, Ordering};
 
 /// Cache-line padding wrapper to avoid false sharing between workers'
 /// counter blocks.
 #[repr(align(128))]
 pub struct CachePadded<T>(pub T);
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
 
 impl<T> std::ops::Deref for CachePadded<T> {
     type Target = T;
@@ -39,16 +45,26 @@ pub struct WorkerMetrics {
     pub sleeps: AtomicU64,
 }
 
+impl std::fmt::Debug for WorkerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
 impl WorkerMetrics {
     /// Add `1` to a counter (relaxed; the reader aggregates after quiesce).
     #[inline]
     pub fn bump(counter: &AtomicU64) {
+        // ord: Relaxed — pure statistics: each counter has one writer (its
+        // worker) and is read only after the pool quiesces, which already
+        // synchronizes via the CountLatch.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot as a plain struct.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            // ord: Relaxed — read after quiesce; see `bump`.
             executed: self.executed.load(Ordering::Relaxed),
             spawned: self.spawned.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
@@ -60,6 +76,8 @@ impl WorkerMetrics {
 
     /// Reset all counters to zero (between experiment repetitions).
     pub fn reset(&self) {
+        // ord: Relaxed — caller resets between runs, outside any
+        // concurrent counting; see `bump`.
         self.executed.store(0, Ordering::Relaxed);
         self.spawned.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);

@@ -12,8 +12,8 @@
 //! always bumps the epoch so a sleeper that raced with the notification
 //! observes a stale epoch and retries instead of sleeping.
 
+use ft_sync::atomic::{AtomicU64, Ordering};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared sleep/wake state for a pool of workers.
 pub struct Parker {
@@ -36,6 +36,14 @@ pub struct SleepToken {
 impl Default for Parker {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl std::fmt::Debug for Parker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Parker")
+            .field("sleepers", &self.sleepers())
+            .finish()
     }
 }
 
@@ -116,7 +124,7 @@ impl Parker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use ft_sync::atomic::AtomicBool;
     use std::sync::Arc;
     use std::thread;
     use std::time::Duration;

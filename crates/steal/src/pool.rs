@@ -22,10 +22,10 @@ use crate::latch::CountLatch;
 use crate::metrics::{CachePadded, MetricsSnapshot, WorkerMetrics};
 use crate::parker::Parker;
 use crate::rng::XorShift64Star;
+use ft_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -120,6 +120,15 @@ pub struct Scope<'a> {
     host: &'a dyn SpawnHost,
 }
 
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("num_threads", &self.num_threads())
+            .field("worker_index", &self.worker_index())
+            .finish()
+    }
+}
+
 impl<'a> Scope<'a> {
     /// Build a scope over any spawn host. Executors call this; jobs only
     /// ever receive a ready-made `&Scope`.
@@ -169,6 +178,9 @@ fn current_worker_index(state: &PoolState) -> Option<usize> {
         if p.is_null() {
             return None;
         }
+        // SAFETY: a non-null LOCAL points at the `LocalCtx` on the current
+        // worker's stack frame in `worker_main`, which outlives every job
+        // the worker runs and is reset to null before the frame unwinds.
         let ctx = unsafe { &*p };
         if std::ptr::eq(ctx.pool_id, state) {
             Some(ctx.index)
@@ -193,6 +205,9 @@ impl PoolState {
             if p.is_null() {
                 return;
             }
+            // SAFETY: as in `current_worker_index` — a non-null LOCAL points
+            // at the live `LocalCtx` of the current worker's `worker_main`
+            // frame, which strictly outlives this call.
             let ctx = unsafe { &*p };
             if !std::ptr::eq(ctx.pool_id, self) {
                 return;
@@ -218,6 +233,10 @@ impl PoolState {
 
     /// Account for a job leaving the queues. Returns how many remain.
     fn job_acquired(&self) -> u64 {
+        // ord: Relaxed — the counter is a wakeup heuristic here: the worker
+        // already holds the job (synchronized by the deque/injector
+        // protocols), and parking correctness relies on the SeqCst
+        // increment in `spawn_job`, not on this decrement.
         self.queued.fetch_sub(1, Ordering::Relaxed) - 1
     }
 }
@@ -240,6 +259,14 @@ impl SpawnHost for PoolState {
 pub struct Pool {
     state: Arc<PoolState>,
     handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.state.threads)
+            .finish()
+    }
 }
 
 impl Pool {
@@ -355,6 +382,8 @@ impl Executor for Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        // ord: Release — pairs with the workers' Acquire loads of
+        // `shutdown` so everything before the drop is visible to them.
         self.state.shutdown.store(true, Ordering::Release);
         // Wake everyone until they have all exited.
         for h in self.handles.drain(..) {
@@ -403,11 +432,13 @@ fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u6
             state.pending.decrement();
             continue;
         }
+        // ord: Acquire — pairs with the Release store in `Pool::drop`.
         if state.shutdown.load(Ordering::Acquire) {
             break;
         }
         // Nothing found after a full sweep: two-phase park.
         let token = state.parker.prepare_sleep();
+        // ord: Acquire — pairs with the Release store in `Pool::drop`.
         if state.has_visible_work() || state.shutdown.load(Ordering::Acquire) {
             state.parker.cancel_sleep();
             continue;
@@ -455,6 +486,7 @@ fn find_job(
         if let Some(job) = pop_injector(state, ctx, index) {
             return Some(job);
         }
+        // ord: Acquire — pairs with the Release store in `Pool::drop`.
         if state.shutdown.load(Ordering::Acquire) {
             return None;
         }
@@ -477,7 +509,7 @@ fn pop_injector(state: &PoolState, ctx: &LocalCtx, index: usize) -> Option<Job> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use ft_sync::atomic::AtomicUsize;
 
     #[test]
     fn runs_simple_jobs() {
