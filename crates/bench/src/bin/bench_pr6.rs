@@ -1,0 +1,432 @@
+//! `bench_pr6` — deadline-miss rate under faults: priority vs FIFO pop.
+//!
+//! Emits `BENCH_PR6.json`: for each critical-ratio sweep, a paired
+//! comparison of the two pop orders on the *same* random layered DAG and
+//! the *same* fault plan:
+//!
+//! * **fifo** — `SchedOpts::default()`: the pre-PR6 scheduler, every
+//!   spawned job Normal priority.
+//! * **prio** — `SchedOpts { priority: dag.priority_fn(), .. }`: tasks in
+//!   the critical set (Hard ∪ ancestors) spawn into the High lane of the
+//!   injector and the per-worker hot deques, so workers execute them
+//!   before any Soft backlog.
+//!
+//! Deadlines self-calibrate to the machine: each sweep first measures the
+//! FIFO makespan `M` in uncounted calibration reps, then Hard task `k`
+//! gets the deadline `prefix_work(k)/T1 × M × β` — its
+//! proportional-progress finish time under FIFO, tightened by `β < 1`.
+//! `β` sits between the critical-work fraction (where priority pop is
+//! expected to finish critical tasks: only critical work is ahead of
+//! them) and 1.0 (where FIFO finishes them: *all* earlier work is ahead
+//! of them), so FIFO blows the deadlines and critical-first holds them.
+//! The DAGs are much wider than the worker count on purpose: that is the
+//! backlog regime where pop *order* (not raw throughput) decides whether
+//! critical chains stall behind Soft work. Fault injection
+//! (`AfterCompute` data faults + localized recovery re-execution) adds
+//! the paper's failure pressure on top.
+//!
+//! Usage: `bench_pr6 [--reps N] [--threads T] [--faults F] [--work W]
+//! [--out PATH] [--check --ref BENCH_PR6.json]`
+//!
+//! `--check` gates (exit 1 on failure):
+//! * priority pop must show a **strictly lower** deadline-miss rate than
+//!   FIFO on every `critical_ratio ≤ 0.7` sweep (at ratio 1.0 the whole
+//!   DAG is critical, the lanes degenerate, and the row is informational);
+//! * against `--ref`, the per-sweep prio/fifo **miss-rate ratio** must not
+//!   regress by more than +0.5 and the prio/fifo **throughput ratio** must
+//!   not regress by more than −0.25 (the miss band is wider because the
+//!   miss ratio swings more run to run than throughput does). Both are
+//!   within-run ratios, so the committed reference transfers across
+//!   machines of different speed.
+//!
+//! `FT_BENCH_REPS` / `FT_BENCH_THREADS` override the defaults (CLI flags
+//! override both); resolved values and the git revision land in the JSON.
+
+use ft_bench::dag_gen::{DagGenConfig, RandDag};
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::deadline::DeadlineMonitor;
+use nabbit_ft::inject::{FaultPlan, Phase};
+use nabbit_ft::scheduler::{FtScheduler, SchedOpts};
+use nabbit_ft::TaskGraph;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Critical-ratio sweep points. Ratios ≤ [`GATED_MAX_RATIO`] carry the
+/// strict miss-rate gate; 1.0 is a sanity row (everything critical ⇒ the
+/// priority lane degenerates to FIFO-with-overhead).
+const RATIOS: &[f64] = &[0.3, 0.5, 0.7, 1.0];
+/// Upper bound (inclusive) of the gated sweeps.
+const GATED_MAX_RATIO: f64 = 0.7;
+
+/// DAG shape shared by all sweeps: wide relative to any sane worker count
+/// (avg width ≈ `max_width/2` ≈ 24 ≫ threads), so the ready backlog is
+/// deep and pop order matters.
+fn sweep_config(ratio: f64, work_unit: u64, sweep: usize) -> DagGenConfig {
+    let mut cfg = DagGenConfig::new(20, 40, 0.08, 0xDA6_0000 + sweep as u64);
+    cfg.critical_ratio = ratio;
+    cfg.work_unit = work_unit;
+    cfg
+}
+
+/// One paired sweep: both pop orders on identical DAG/fault-plan pairs.
+struct SweepResult {
+    ratio: f64,
+    tasks: usize,
+    hard: usize,
+    /// Critical-work share of `T1` (what priority pop must execute before
+    /// the last critical task).
+    crit_frac: f64,
+    /// Deadline tightening factor (see module docs).
+    beta: f64,
+    /// Calibrated FIFO makespan the deadlines are scaled from.
+    cal_makespan_ms: f64,
+    fifo_miss: f64,
+    prio_miss: f64,
+    fifo_tps: f64,
+    prio_tps: f64,
+}
+
+impl SweepResult {
+    /// Prio/fifo miss-rate ratio (< 1 means priority helps). Clamped so a
+    /// zero-miss FIFO run cannot emit non-JSON infinities.
+    fn miss_ratio(&self) -> f64 {
+        (self.prio_miss / self.fifo_miss.max(1e-9)).min(999.0)
+    }
+    /// Prio/fifo throughput ratio (≈ 1 means the hot lane costs nothing).
+    fn throughput_ratio(&self) -> f64 {
+        self.prio_tps / self.fifo_tps.max(1e-9)
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\n      \"ratio\": {:.2},\n      \"tasks\": {},\n      \
+             \"hard\": {},\n      \"crit_work_frac\": {:.4},\n      \
+             \"beta\": {:.4},\n      \"cal_makespan_ms\": {:.3},\n      \
+             \"fifo_miss_rate\": {:.4},\n      \"prio_miss_rate\": {:.4},\n      \
+             \"miss_ratio_prio_over_fifo\": {:.4},\n      \
+             \"fifo_tasks_per_s\": {:.0},\n      \"prio_tasks_per_s\": {:.0},\n      \
+             \"throughput_ratio_prio_over_fifo\": {:.4}\n    }}",
+            self.ratio,
+            self.tasks,
+            self.hard,
+            self.crit_frac,
+            self.beta,
+            self.cal_makespan_ms,
+            self.fifo_miss,
+            self.prio_miss,
+            self.miss_ratio(),
+            self.fifo_tps,
+            self.prio_tps,
+            self.throughput_ratio(),
+        )
+    }
+}
+
+/// Mean FIFO makespan (ns) over uncounted calibration reps: absorbs the
+/// machine's core count, oversubscription, and per-task scheduling
+/// overhead, so the deadlines derived from it transfer across boxes.
+fn fifo_makespan_ns(pool: &Pool, cfg: &DagGenConfig, reps: usize, faults: usize) -> f64 {
+    let mut total = 0.0f64;
+    for rep in 0..reps {
+        let dag = Arc::new(RandDag::generate(cfg.clone()));
+        let plan = Arc::new(FaultPlan::sample(
+            &dag.all_keys(),
+            faults,
+            Phase::AfterCompute,
+            0xCA11 + rep as u64,
+        ));
+        let t0 = Instant::now();
+        let report = FtScheduler::with_plan(dag as _, plan).run(pool);
+        total += t0.elapsed().as_nanos() as f64;
+        assert!(report.sink_completed, "calibration run must complete");
+    }
+    total / reps as f64
+}
+
+/// Run `reps` fault-injected executions of `cfg` under one pop order and
+/// return `(miss_rate, tasks_per_s)`. Each rep regenerates the DAG (fresh
+/// value/poison maps) and samples a rep-specific fault plan — the same
+/// sequence for both pop orders, so the comparison is paired.
+/// `deadlines[k]` is the per-key deadline in ns from the run's start.
+fn run_mode(
+    pool: &Pool,
+    cfg: &DagGenConfig,
+    use_priority: bool,
+    reps: usize,
+    faults: usize,
+    deadlines: &[f64],
+) -> (f64, f64) {
+    let mut misses = 0usize;
+    let mut hard_total = 0usize;
+    let mut tasks_total = 0usize;
+    let mut elapsed = 0.0f64;
+    for rep in 0..reps {
+        let dag = Arc::new(RandDag::generate(cfg.clone()));
+        let keys = dag.all_keys();
+        let plan = Arc::new(FaultPlan::sample(
+            &keys,
+            faults,
+            Phase::AfterCompute,
+            0xFA17 + rep as u64,
+        ));
+        let monitor = Arc::new(DeadlineMonitor::new());
+        let opts = SchedOpts {
+            priority: use_priority.then(|| dag.priority_fn()),
+            deadline: Some(Arc::clone(&monitor)),
+        };
+        let graph: Arc<dyn TaskGraph> = Arc::clone(&dag) as _;
+        let t0 = Instant::now();
+        let report = FtScheduler::with_opts(graph, plan, None, opts).run(pool);
+        elapsed += t0.elapsed().as_secs_f64();
+        assert!(report.sink_completed, "run must complete");
+        tasks_total += dag.task_count();
+        for k in dag.hard_tasks() {
+            hard_total += 1;
+            let stamp = monitor
+                .stamp(k)
+                .expect("hard task completed (sink done implies all done)");
+            if stamp.nanos as f64 > deadlines[k as usize] {
+                misses += 1;
+            }
+        }
+    }
+    (
+        misses as f64 / hard_total.max(1) as f64,
+        tasks_total as f64 / elapsed,
+    )
+}
+
+/// Pull `(ratio, miss_ratio, throughput_ratio)` triples back out of a
+/// committed `BENCH_PR6.json`. Line-oriented scan over the format this
+/// binary itself emits (same no-serde approach as `bench_pr4`).
+fn parse_reference(text: &str) -> Vec<(f64, f64, f64)> {
+    let mut out = Vec::new();
+    let mut ratio: Option<f64> = None;
+    let mut miss: Option<f64> = None;
+    let grab = |line: &str| -> Option<f64> {
+        line.split(':')
+            .nth(1)?
+            .trim()
+            .trim_end_matches(',')
+            .parse()
+            .ok()
+    };
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"ratio\"") {
+            ratio = grab(t);
+        } else if t.starts_with("\"miss_ratio_prio_over_fifo\"") {
+            miss = grab(t);
+        } else if t.starts_with("\"throughput_ratio_prio_over_fifo\"") {
+            if let (Some(r), Some(m), Some(th)) = (ratio.take(), miss.take(), grab(t)) {
+                out.push((r, m, th));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
+    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 2);
+    let mut faults = 8usize;
+    let mut work_unit = 4000u64;
+    let mut out = String::from("BENCH_PR6.json");
+    let mut check = false;
+    let mut reference: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads T")
+            }
+            "--faults" => {
+                faults = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--faults F")
+            }
+            "--work" => work_unit = args.next().and_then(|v| v.parse().ok()).expect("--work W"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--check" => check = true,
+            "--ref" => reference = Some(args.next().expect("--ref PATH")),
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: bench_pr6 [--reps N] [--threads T] \
+                     [--faults F] [--work W] [--out PATH] [--check --ref BENCH_PR6.json]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pool = Pool::new(PoolConfig::with_threads(threads));
+    // Warm the pool (spawn threads, fault in the code paths) off the clock.
+    {
+        let warm = Arc::new(RandDag::generate(sweep_config(0.5, work_unit, 0)));
+        FtScheduler::new(warm as _).run(&pool);
+    }
+
+    let mut sweeps = Vec::new();
+    for (i, &ratio) in RATIOS.iter().enumerate() {
+        let cfg = sweep_config(ratio, work_unit, i);
+        let probe = RandDag::generate(cfg.clone());
+        let total_work = probe.total_wcet() as f64;
+        let crit_work: u64 = probe
+            .critical_tasks()
+            .iter()
+            .map(|&k| probe.wcet_of(k))
+            .sum();
+        let crit_frac = crit_work as f64 / total_work;
+        // β between the critical-work fraction (priority pop's expected
+        // relative finish for critical tasks — only critical work is
+        // ahead of them) and 1.0 (FIFO's — everything is ahead of them),
+        // biased towards FIFO so priority keeps the larger noise margin.
+        let beta = crit_frac + 0.7 * (1.0 - crit_frac);
+        let makespan_ns = fifo_makespan_ns(&pool, &cfg, 2.max(reps / 2), faults);
+        // Proportional-progress deadlines: keys ascend in layer order, so
+        // the WCET prefix sum approximates the work that must drain
+        // before `k` can run in a breadth-first (FIFO) schedule.
+        let mut prefix = 0.0f64;
+        let deadlines: Vec<f64> = probe
+            .all_keys()
+            .iter()
+            .map(|&k| {
+                prefix += probe.wcet_of(k) as f64;
+                prefix / total_work * makespan_ns * beta
+            })
+            .collect();
+        let (fifo_miss, fifo_tps) = run_mode(&pool, &cfg, false, reps, faults, &deadlines);
+        let (prio_miss, prio_tps) = run_mode(&pool, &cfg, true, reps, faults, &deadlines);
+        let s = SweepResult {
+            ratio,
+            tasks: probe.task_count(),
+            hard: probe.hard_tasks().len(),
+            crit_frac,
+            beta,
+            cal_makespan_ms: makespan_ns / 1e6,
+            fifo_miss,
+            prio_miss,
+            fifo_tps,
+            prio_tps,
+        };
+        println!(
+            "ratio {:.2}: tasks={} hard={} crit_frac={:.2} beta={:.2} cal={:.1}ms  \
+             miss fifo {:.3} vs prio {:.3} (ratio {:.3})  \
+             tps fifo {:.0} vs prio {:.0} (ratio {:.3})",
+            s.ratio,
+            s.tasks,
+            s.hard,
+            s.crit_frac,
+            s.beta,
+            s.cal_makespan_ms,
+            s.fifo_miss,
+            s.prio_miss,
+            s.miss_ratio(),
+            s.fifo_tps,
+            s.prio_tps,
+            s.throughput_ratio(),
+        );
+        sweeps.push(s);
+    }
+
+    let rows: Vec<String> = sweeps.iter().map(|s| s.to_json()).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"bench_pr6/v1\",\n  \"git_rev\": \"{}\",\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"faults\": {},\n  \
+         \"work_unit\": {},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
+        ft_bench::meta::git_rev(),
+        threads,
+        reps,
+        faults,
+        work_unit,
+        rows.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {out}");
+
+    if !check {
+        return;
+    }
+
+    // --- Gate ------------------------------------------------------------
+    let mut failures = Vec::new();
+    for s in &sweeps {
+        if s.ratio > GATED_MAX_RATIO {
+            continue;
+        }
+        if s.prio_miss >= s.fifo_miss {
+            failures.push(format!(
+                "ratio {:.2}: priority miss rate {:.4} is not strictly below FIFO {:.4}",
+                s.ratio, s.prio_miss, s.fifo_miss
+            ));
+        }
+    }
+    if let Some(path) = reference {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let reference_rows = parse_reference(&text);
+        assert!(!reference_rows.is_empty(), "no sweeps parsed from {path}");
+        // Ratio-of-ratios bands: miss-rate and throughput ratios compare
+        // prio to fifo *within the same run on the same box*, so the
+        // committed reference transfers across machine speeds. Per-sweep
+        // miss ratios swing by ±0.4 run-to-run at CI rep counts, so the
+        // miss band gates the *mean over the gated sweeps* (noise averages
+        // out; a broken comparator pushes every sweep toward 1.0 and moves
+        // the mean well past the band). Throughput ratios are tight per
+        // sweep and stay gated individually.
+        const MISS_BAND: f64 = 0.35;
+        const THR_BAND: f64 = 0.25;
+        let mut miss_cur = Vec::new();
+        let mut miss_ref = Vec::new();
+        for (ref_ratio, ref_miss, ref_thr) in &reference_rows {
+            if *ref_ratio > GATED_MAX_RATIO {
+                continue;
+            }
+            let Some(s) = sweeps.iter().find(|s| (s.ratio - ref_ratio).abs() < 1e-6) else {
+                failures.push(format!("reference sweep ratio {ref_ratio:.2} missing"));
+                continue;
+            };
+            miss_cur.push(s.miss_ratio());
+            miss_ref.push(*ref_miss);
+            let d_thr = s.throughput_ratio() - ref_thr;
+            if d_thr < -THR_BAND {
+                failures.push(format!(
+                    "ratio {:.2}: throughput ratio {:.3} vs reference {ref_thr:.3} — \
+                     regressed past -{THR_BAND}",
+                    s.ratio,
+                    s.throughput_ratio()
+                ));
+            }
+            println!(
+                "check ratio {:.2}: miss ratio {:.3} vs reference {ref_miss:.3}, \
+                 Δ throughput ratio {d_thr:+.3} (gate < -{THR_BAND})",
+                s.ratio,
+                s.miss_ratio()
+            );
+        }
+        if !miss_cur.is_empty() {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let (m_cur, m_ref) = (mean(&miss_cur), mean(&miss_ref));
+            let d_miss = m_cur - m_ref;
+            if d_miss > MISS_BAND {
+                failures.push(format!(
+                    "mean miss ratio over gated sweeps {m_cur:.3} vs reference {m_ref:.3} — \
+                     regressed past +{MISS_BAND}"
+                ));
+            }
+            println!("check mean miss ratio: Δ {d_miss:+.3} (gate > +{MISS_BAND})");
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

@@ -10,6 +10,7 @@
 //! same *graph shapes* at sizes that complete in seconds here, and every
 //! experiment takes `--n/--b/--loss/--reps` overrides to scale up.
 
+pub mod dag_gen;
 pub mod grids;
 pub mod measure;
 pub mod meta;
@@ -17,8 +18,9 @@ pub mod registry;
 pub mod report;
 pub mod snapshot;
 
+pub use dag_gen::{DagGenConfig, RandDag};
 pub use measure::{measure, Stats};
-pub use registry::{make_app, AppKind, APP_KINDS};
+pub use registry::{make_app, make_randdag, parse_randdag, AppKind, APP_KINDS};
 pub use report::{ExperimentReport, Row};
 
 use ft_apps::BenchApp;

@@ -33,6 +33,7 @@
 //! the policy, so trace shards and sharded metrics lanes are selected by
 //! worker identity instead of contending cross-worker.
 
+use crate::deadline::DeadlineMonitor;
 use crate::fault::Fault;
 use crate::graph::{ComputeCtx, Key, TaskGraph};
 use crate::inject::Phase;
@@ -41,10 +42,41 @@ use crate::task::Status;
 use crate::trace::Event;
 use ft_cmap::ShardedMap;
 use ft_steal::pool::{Executor, Scope};
+use ft_steal::Priority;
 use ft_sync::atomic::{AtomicI64, Ordering};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Maps a task key to the acquisition priority of the jobs that traverse,
+/// notify, or compute it. Typically derived from a DAG analysis (hard
+/// tasks and their ancestors are [`Priority::High`]).
+pub type PriorityFn = Arc<dyn Fn(Key) -> Priority + Send + Sync>;
+
+/// Optional scheduling behaviors threaded through the engine, orthogonal
+/// to the fault-tolerance policy.
+///
+/// The default (`None` everywhere) is the exact pre-PR6 scheduler: every
+/// job spawns at [`Priority::Normal`] and no completion times are
+/// recorded.
+#[derive(Clone, Default)]
+pub struct SchedOpts {
+    /// Priority pop order: every job the engine spawns *toward* a task
+    /// key is submitted at `priority(key)`. `None` = FIFO mode.
+    pub priority: Option<PriorityFn>,
+    /// Completion-time probe: `record(key)` is invoked at each task's
+    /// `Completed` transition (first completion wins inside the monitor).
+    pub deadline: Option<Arc<DeadlineMonitor>>,
+}
+
+impl std::fmt::Debug for SchedOpts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedOpts")
+            .field("priority", &self.priority.as_ref().map(|_| "fn"))
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
 
 /// The per-task state the shared traversal needs from a descriptor,
 /// whichever flavor the policy picks.
@@ -154,17 +186,37 @@ pub struct Engine<P: FtPolicy> {
     pub(super) map: ShardedMap<Arc<P::Desc>>,
     pub(super) metrics: RunMetrics,
     pub(super) policy: P,
+    pub(super) opts: SchedOpts,
 }
 
 impl<P: FtPolicy> Engine<P> {
     /// Build an engine around `policy`.
     pub(super) fn with_policy(graph: Arc<dyn TaskGraph>, policy: P) -> Arc<Self> {
+        Self::with_policy_opts(graph, policy, SchedOpts::default())
+    }
+
+    /// Build an engine around `policy` with explicit scheduling options.
+    pub(super) fn with_policy_opts(
+        graph: Arc<dyn TaskGraph>,
+        policy: P,
+        opts: SchedOpts,
+    ) -> Arc<Self> {
         Arc::new(Engine {
             graph,
             map: ShardedMap::new(),
             metrics: RunMetrics::new(),
             policy,
+            opts,
         })
+    }
+
+    /// Acquisition priority for jobs targeting `key`.
+    #[inline]
+    pub(super) fn prio_of(&self, key: Key) -> Priority {
+        match &self.opts.priority {
+            Some(f) => f(key),
+            None => Priority::Normal,
+        }
     }
 
     /// Execute the task graph to completion on `exec`; returns run
@@ -184,8 +236,9 @@ impl<P: FtPolicy> Engine<P> {
         // programming error worth aborting on, not a runtime condition.
         let (sd, life) = self.get_task(sink).expect("sink just inserted");
         let this = Arc::clone(self);
+        let prio = self.prio_of(sink);
         exec.execute_job(Box::new(move |scope: &Scope<'_>| {
-            scope.spawn(move |s| this.init_and_compute(s, sd, sink, life));
+            scope.spawn_with(prio, move |s| this.init_and_compute(s, sd, sink, life));
         }));
         let mut report = self.metrics.snapshot();
         report.sink_completed = self
@@ -240,7 +293,11 @@ impl<P: FtPolicy> Engine<P> {
         for &pkey in a.preds() {
             let this = Arc::clone(self);
             let a2 = Arc::clone(&a);
-            s.spawn(move |s| this.try_init_compute(s, a2, key, life, pkey));
+            // Priority of the *target* (the predecessor being traversed):
+            // hard tasks and their ancestors traverse ahead of soft work.
+            s.spawn_with(self.prio_of(pkey), move |s| {
+                this.try_init_compute(s, a2, key, life, pkey)
+            });
         }
         // Section VI "before compute" injection point: the task "has
         // traversed its predecessors and is waiting for one or more
@@ -267,7 +324,9 @@ impl<P: FtPolicy> Engine<P> {
         if inserted {
             let this = Arc::clone(self);
             let b2 = Arc::clone(&b);
-            s.spawn(move |s| this.init_and_compute(s, b2, pkey, blife));
+            s.spawn_with(self.prio_of(pkey), move |s| {
+                this.init_and_compute(s, b2, pkey, blife)
+            });
         }
 
         // try { check B; register or observe completion }
@@ -383,7 +442,12 @@ impl<P: FtPolicy> Engine<P> {
                 };
                 for &skey in &batch {
                     let this = Arc::clone(self);
-                    s.spawn(move |s| this.notify_successor(s, key, skey));
+                    // Notifications toward hard/critical successors jump
+                    // the queue: the notify job runs the successor's
+                    // compute inline when the join counter hits zero.
+                    s.spawn_with(self.prio_of(skey), move |s| {
+                        this.notify_successor(s, key, skey)
+                    });
                 }
                 notified += batch.len();
                 let g = a.notify().lock();
@@ -391,6 +455,9 @@ impl<P: FtPolicy> Engine<P> {
                     a.set_status(Status::Completed);
                     drop(g);
                     self.policy.emit(worker, Event::Completed { key, life });
+                    if let Some(dl) = &self.opts.deadline {
+                        dl.record(key);
+                    }
                     break;
                 }
             }

@@ -21,5 +21,5 @@ pub mod ft;
 pub mod recovery;
 
 pub use baseline::{BaselineScheduler, NoFt};
-pub use engine::{Descriptor, Engine, FtPolicy};
+pub use engine::{Descriptor, Engine, FtPolicy, PriorityFn, SchedOpts};
 pub use ft::{FtRecovery, FtScheduler};

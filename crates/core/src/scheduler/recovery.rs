@@ -98,7 +98,11 @@ impl Engine<FtRecovery> {
                 Ok(()) => {
                     let this = Arc::clone(self);
                     let t2 = Arc::clone(&t);
-                    s.spawn(move |s| this.init_and_compute(s, t2, key, life));
+                    // Recovered incarnations keep their key's priority, so
+                    // a hard task's recovery also jumps the queue.
+                    s.spawn_with(self.prio_of(key), move |s| {
+                        this.init_and_compute(s, t2, key, life)
+                    });
                     return;
                 }
                 Err(f) => {

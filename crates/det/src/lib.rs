@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 use ft_steal::pool::{Executor, Job, Scope, SpawnHost};
+use ft_steal::priority::Priority;
 use ft_steal::rng::XorShift64Star;
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -54,6 +55,10 @@ use std::cell::{Cell, RefCell};
 pub struct DetPool {
     seed: u64,
     queue: RefCell<Vec<Job>>,
+    /// High-priority ready list: drained (still in seeded-random order)
+    /// before any job in `queue` is considered. Models the real pool's
+    /// priority pop order deterministically.
+    hot: RefCell<Vec<Job>>,
     rng: RefCell<XorShift64Star>,
     /// First panic payload from a job; re-raised when the queue drains.
     panic: RefCell<Option<Box<dyn Any + Send>>>,
@@ -69,6 +74,7 @@ impl DetPool {
         DetPool {
             seed,
             queue: RefCell::new(Vec::new()),
+            hot: RefCell::new(Vec::new()),
             rng: RefCell::new(XorShift64Star::new(seed)),
             panic: RefCell::new(None),
             executed: Cell::new(0),
@@ -106,13 +112,23 @@ impl DetPool {
         self.draining.set(true);
         loop {
             // Pick-and-pop inside a short borrow so jobs can spawn freely.
+            // Hot jobs strictly first (mirrors the real pool's acquisition
+            // order); within a lane the seeded RNG picks uniformly, so the
+            // whole schedule is still a pure function of the seed.
             let job = {
-                let mut q = self.queue.borrow_mut();
-                if q.is_empty() {
-                    break;
+                let mut hot = self.hot.borrow_mut();
+                if hot.is_empty() {
+                    drop(hot);
+                    let mut q = self.queue.borrow_mut();
+                    if q.is_empty() {
+                        break;
+                    }
+                    let idx = self.rng.borrow_mut().next_below(q.len());
+                    q.swap_remove(idx)
+                } else {
+                    let idx = self.rng.borrow_mut().next_below(hot.len());
+                    hot.swap_remove(idx)
                 }
-                let idx = self.rng.borrow_mut().next_below(q.len());
-                q.swap_remove(idx)
             };
             self.executed.set(self.executed.get() + 1);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -132,6 +148,13 @@ impl DetPool {
 impl SpawnHost for DetPool {
     fn spawn_job(&self, job: Job) {
         self.queue.borrow_mut().push(job);
+    }
+
+    fn spawn_job_with(&self, job: Job, prio: Priority) {
+        match prio {
+            Priority::High => self.hot.borrow_mut().push(job),
+            Priority::Normal => self.queue.borrow_mut().push(job),
+        }
     }
 
     fn num_threads(&self) -> usize {
@@ -201,6 +224,49 @@ mod tests {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hot_jobs_drain_before_normal_ones_deterministically() {
+        for seed in 0..8u64 {
+            let pool = DetPool::new(seed);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o = Arc::clone(&order);
+            pool.run_until_complete(move |scope: &Scope<'_>| {
+                for i in 0..6usize {
+                    let o = Arc::clone(&o);
+                    scope.spawn(move |_| o.lock().push(("normal", i)));
+                }
+                for i in 0..6usize {
+                    let o = Arc::clone(&o);
+                    scope.spawn_with(Priority::High, move |_| o.lock().push(("hot", i)));
+                }
+            });
+            let got = Arc::try_unwrap(order).unwrap().into_inner();
+            assert!(
+                got[..6].iter().all(|&(lane, _)| lane == "hot"),
+                "seed {seed}: hot lane must drain first, got {got:?}"
+            );
+        }
+        // Replays are still identical per seed with mixed priorities.
+        let run = |seed: u64| -> Vec<(u8, usize)> {
+            let pool = DetPool::new(seed);
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o = Arc::clone(&order);
+            pool.run_until_complete(move |scope: &Scope<'_>| {
+                for i in 0..10usize {
+                    let o = Arc::clone(&o);
+                    let prio = if i % 3 == 0 {
+                        Priority::High
+                    } else {
+                        Priority::Normal
+                    };
+                    scope.spawn_with(prio, move |_| o.lock().push((prio as u8, i)));
+                }
+            });
+            Arc::try_unwrap(order).unwrap().into_inner()
+        };
+        assert_eq!(run(42), run(42));
     }
 
     #[test]

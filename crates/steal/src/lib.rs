@@ -56,7 +56,9 @@ pub mod latch;
 pub mod metrics;
 pub mod parker;
 pub mod pool;
+pub mod priority;
 pub mod rng;
 
 pub use latch::{CountLatch, Flag};
 pub use pool::{Executor, Job, Pool, PoolConfig, Scope, SpawnHost};
+pub use priority::{PrioInjector, Priority};

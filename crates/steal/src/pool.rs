@@ -17,10 +17,10 @@
 //! panicking job would leak the quiescence count and deadlock the run.
 
 use crate::deque::{self, Steal, Stealer, Worker};
-use crate::injector::Injector;
 use crate::latch::CountLatch;
 use crate::metrics::{CachePadded, MetricsSnapshot, WorkerMetrics};
 use crate::parker::Parker;
+use crate::priority::{PrioInjector, Priority};
 use crate::rng::XorShift64Star;
 use ft_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
@@ -39,6 +39,15 @@ pub type Job = Box<dyn FnOnce(&Scope<'_>) + Send>;
 pub trait SpawnHost {
     /// Enqueue a fire-and-forget job.
     fn spawn_job(&self, job: Job);
+
+    /// Enqueue a job with an acquisition priority. Hosts without a
+    /// priority lane may ignore `prio`; the default does exactly that, so
+    /// priority mode degrades to FIFO rather than failing on simple
+    /// executors.
+    fn spawn_job_with(&self, job: Job, prio: Priority) {
+        let _ = prio;
+        self.spawn_job(job);
+    }
 
     /// Number of workers executing jobs.
     fn num_threads(&self) -> usize;
@@ -96,10 +105,16 @@ impl Default for PoolConfig {
     }
 }
 
+/// The two stealer ends of one worker's deque pair.
+struct LaneStealers {
+    hot: Stealer<Job>,
+    normal: Stealer<Job>,
+}
+
 /// Shared state between the pool handle and its workers.
 struct PoolState {
-    stealers: Vec<Stealer<Job>>,
-    injector: Injector<Job>,
+    stealers: Vec<LaneStealers>,
+    injector: PrioInjector<Job>,
     /// Pool-wide count of jobs sitting in any queue (local deques + the
     /// injector): incremented after a job is enqueued, decremented when a
     /// worker acquires one. Idle workers consult this single counter to
@@ -147,6 +162,19 @@ impl<'a> Scope<'a> {
         self.host.spawn_job(Box::new(f));
     }
 
+    /// Spawn a fire-and-forget job with an acquisition priority.
+    ///
+    /// On the [`Pool`], [`Priority::High`] jobs land in the hot lane (the
+    /// worker's hot deque or the injector's hot lane) and are acquired
+    /// before any visible normal job. Hosts without priority lanes treat
+    /// this as [`Scope::spawn`].
+    pub fn spawn_with<F>(&self, prio: Priority, f: F)
+    where
+        F: FnOnce(&Scope<'_>) + Send + 'static,
+    {
+        self.host.spawn_job_with(Box::new(f), prio);
+    }
+
     /// Number of worker threads in the executor this scope belongs to.
     pub fn num_threads(&self) -> usize {
         self.host.num_threads()
@@ -167,6 +195,9 @@ thread_local! {
 /// Per-worker context, reachable through the thread-local above.
 struct LocalCtx {
     deque: Worker<Job>,
+    /// Second, high-priority deque: popped before `deque`, stolen before
+    /// victims' normal lanes. Empty for FIFO-mode workloads.
+    hot: Worker<Job>,
     index: usize,
     /// Identity of the owning pool, to guard against cross-pool spawns.
     pool_id: *const PoolState,
@@ -192,6 +223,10 @@ fn current_worker_index(state: &PoolState) -> Option<usize> {
 
 impl PoolState {
     fn spawn_job(&self, job: Job) {
+        self.spawn_job_with(job, Priority::Normal);
+    }
+
+    fn spawn_job_with(&self, job: Job, prio: Priority) {
         self.pending.increment();
         // Count the job *before* it becomes stealable: a worker that grabs
         // it the instant it lands must not decrement `queued` below zero.
@@ -213,12 +248,16 @@ impl PoolState {
                 return;
             }
             WorkerMetrics::bump(&self.metrics[ctx.index].spawned);
-            ctx.deque.push(job.take().expect("job present"));
+            let job = job.take().expect("job present");
+            match prio {
+                Priority::High => ctx.hot.push(job),
+                Priority::Normal => ctx.deque.push(job),
+            }
         });
         if let Some(job) = job {
             // Submitting thread is not a worker of this pool: go through
-            // the shared lock-free injector.
-            self.injector.push(job);
+            // the shared lock-free injector (lane chosen by `prio`).
+            self.injector.push(job, prio);
         }
         // One job became visible: wake one worker, not the whole pool. The
         // woken worker escalates (see `worker_main`) while work remains.
@@ -244,6 +283,10 @@ impl PoolState {
 impl SpawnHost for PoolState {
     fn spawn_job(&self, job: Job) {
         PoolState::spawn_job(self, job);
+    }
+
+    fn spawn_job_with(&self, job: Job, prio: Priority) {
+        PoolState::spawn_job_with(self, job, prio);
     }
 
     fn num_threads(&self) -> usize {
@@ -278,15 +321,16 @@ impl Pool {
         let mut stealers = Vec::with_capacity(threads);
         for _ in 0..threads {
             let (w, s) = deque::deque::<Job>();
-            workers.push(w);
-            stealers.push(s);
+            let (hw, hs) = deque::deque::<Job>();
+            workers.push((w, hw));
+            stealers.push(LaneStealers { hot: hs, normal: s });
         }
         let metrics = (0..threads)
             .map(|_| CachePadded(WorkerMetrics::default()))
             .collect();
         let state = Arc::new(PoolState {
             stealers,
-            injector: Injector::new(),
+            injector: PrioInjector::new(),
             queued: CachePadded(AtomicU64::new(0)),
             parker: Parker::new(),
             pending: CountLatch::new(),
@@ -297,7 +341,7 @@ impl Pool {
             steal_rounds: config.steal_rounds.max(1),
         });
         let mut handles = Vec::with_capacity(threads);
-        for (index, w) in workers.into_iter().enumerate() {
+        for (index, (w, hw)) in workers.into_iter().enumerate() {
             let state = Arc::clone(&state);
             let seed = config
                 .seed
@@ -305,7 +349,7 @@ impl Pool {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ft-steal-worker-{index}"))
-                    .spawn(move || worker_main(state, w, index, seed))
+                    .spawn(move || worker_main(state, w, hw, index, seed))
                     .expect("failed to spawn worker thread"),
             );
         }
@@ -396,9 +440,16 @@ impl Drop for Pool {
     }
 }
 
-fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u64) {
+fn worker_main(
+    state: Arc<PoolState>,
+    deque: Worker<Job>,
+    hot: Worker<Job>,
+    index: usize,
+    seed: u64,
+) {
     let ctx = LocalCtx {
         deque,
+        hot,
         index,
         pool_id: Arc::as_ptr(&state),
     };
@@ -449,14 +500,23 @@ fn worker_main(state: Arc<PoolState>, deque: Worker<Job>, index: usize, seed: u6
     LOCAL.with(|l| l.set(std::ptr::null()));
 }
 
-/// One attempt to obtain a job: local deque, then a batch-steal from the
-/// injector, then `steal_rounds` sweeps over random victims.
+/// One attempt to obtain a job, hot work first at every tier: own hot
+/// deque, injector hot lane, own normal deque, injector normal batch, then
+/// `steal_rounds` sweeps over random victims (each victim's hot lane
+/// before its normal one). The only FIFO-mode overhead of the priority
+/// tiers is one empty `pop` and one hint load per acquisition.
 fn find_job(
     state: &PoolState,
     ctx: &LocalCtx,
     index: usize,
     rng: &mut XorShift64Star,
 ) -> Option<Job> {
+    if let Some(job) = ctx.hot.pop() {
+        return Some(job);
+    }
+    if let Some(job) = steal_injector_hot(state, index) {
+        return Some(job);
+    }
     if let Some(job) = ctx.deque.pop() {
         return Some(job);
     }
@@ -472,14 +532,17 @@ fn find_job(
             if victim == index {
                 continue;
             }
-            loop {
-                match state.stealers[victim].steal() {
-                    Steal::Success(job) => {
-                        WorkerMetrics::bump(&state.metrics[index].steals);
-                        return Some(job);
+            let lanes = &state.stealers[victim];
+            for stealer in [&lanes.hot, &lanes.normal] {
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(job) => {
+                            WorkerMetrics::bump(&state.metrics[index].steals);
+                            return Some(job);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => break,
                     }
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
                 }
             }
         }
@@ -496,11 +559,24 @@ fn find_job(
     None
 }
 
-/// Batch-steal from the lock-free injector into this worker's own deque,
+/// Steal one job from the injector's hot lane (hint-gated: FIFO-mode cost
+/// is a single atomic load).
+fn steal_injector_hot(state: &PoolState, index: usize) -> Option<Job> {
+    let job = state.injector.steal_hot()?;
+    WorkerMetrics::bump(&state.metrics[index].steals);
+    WorkerMetrics::bump(&state.metrics[index].injector_steals);
+    Some(job)
+}
+
+/// Take from the lock-free injector: one hot job if any, else a
+/// batch-steal from the normal lane into this worker's own deque,
 /// returning the oldest stolen job. Surplus jobs stay stealable by other
 /// workers (and remain counted in `queued`).
 fn pop_injector(state: &PoolState, ctx: &LocalCtx, index: usize) -> Option<Job> {
-    let job = state.injector.steal_batch_and_pop(&ctx.deque)?;
+    if let Some(job) = steal_injector_hot(state, index) {
+        return Some(job);
+    }
+    let job = state.injector.steal_batch_and_pop_normal(&ctx.deque)?;
     WorkerMetrics::bump(&state.metrics[index].steals);
     WorkerMetrics::bump(&state.metrics[index].injector_steals);
     Some(job)
@@ -611,6 +687,54 @@ mod tests {
             });
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn high_priority_jobs_run_first_on_single_worker() {
+        // On one worker the acquisition order is deterministic: after the
+        // spawning job finishes, the worker drains its hot deque before
+        // its normal deque, so every High job runs before any Normal job.
+        let pool = Pool::new(PoolConfig::with_threads(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        pool.run_until_complete(|scope| {
+            scope.spawn(move |s| {
+                for i in 0..8usize {
+                    let o = Arc::clone(&o);
+                    s.spawn(move |_| o.lock().push(("normal", i)));
+                }
+                for i in 0..8usize {
+                    let o = Arc::clone(&o);
+                    s.spawn_with(Priority::High, move |_| o.lock().push(("hot", i)));
+                }
+            });
+        });
+        let got = order.lock().clone();
+        assert_eq!(got.len(), 16);
+        assert!(
+            got[..8].iter().all(|&(lane, _)| lane == "hot"),
+            "hot jobs must all run before normal ones, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn high_priority_external_submissions_complete() {
+        let pool = Pool::new(PoolConfig::with_threads(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.run_until_complete(|scope| {
+            for i in 0..500 {
+                let c = Arc::clone(&counter);
+                let prio = if i % 2 == 0 {
+                    Priority::High
+                } else {
+                    Priority::Normal
+                };
+                scope.spawn_with(prio, move |_| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! JSON report with the seed and fault plan under
 //! `target/oracle-failures/`.
 
+use ft_bench::dag_gen::{DagGenConfig, RandDag};
 use ft_det::DetPool;
 use ft_integration::graphs::{Chain, Grid, ValueDag};
-use ft_integration::{assert_oracle_clean, det_traced_run, oracle_violations};
+use ft_integration::{assert_oracle_clean, det_traced_run, det_traced_run_opts, oracle_violations};
+use ft_steal::Priority;
+use nabbit_ft::deadline::DeadlineMonitor;
 use nabbit_ft::graph::{Key, TaskGraph};
 use nabbit_ft::inject::{FaultPlan, FaultSite, Phase};
-use nabbit_ft::scheduler::FtScheduler;
+use nabbit_ft::scheduler::{FtScheduler, SchedOpts};
 use nabbit_ft::seq;
 use nabbit_ft::trace::oracle::{check_result_equivalence, OracleMode};
 use nabbit_ft::trace::{Event, Trace};
@@ -95,6 +98,172 @@ fn two_hundred_seeded_oracle_checked_runs() {
         }
     }
     assert!(runs >= 200, "campaign must cover >= 200 runs, got {runs}");
+}
+
+/// PR-6 campaign: ≥ 200 seeded runs over *irregular* DAGs from the
+/// `dag_gen` workload family — (config × fault plan × schedule seed ×
+/// pop order) — every one oracle-checked in Strict mode and
+/// result-checked against the sequential reference. The FIFO and
+/// priority runs share each (config, plan, seed) triple, so a guarantee
+/// that held under FIFO but breaks under the hot lane shows up as a
+/// paired failure.
+#[test]
+fn randdag_campaign_two_hundred_runs_both_pop_orders() {
+    // Shapes chosen to hit the structural extremes: near-serial,
+    // bushy-sparse, dense, wide-shallow, and tall-narrow.
+    let configs: Vec<DagGenConfig> = [
+        (3usize, 2usize, 0.5f64, 0.5f64),
+        (6, 4, 0.15, 0.3),
+        (4, 4, 0.8, 0.7),
+        (2, 6, 0.4, 0.2),
+        (10, 2, 0.3, 1.0),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(layers, width, p, ratio))| {
+        let mut cfg = DagGenConfig::new(layers, width, p, 0xDA6_5EED + i as u64 * 131);
+        cfg.critical_ratio = ratio;
+        cfg.wcet_max = 8;
+        cfg
+    })
+    .collect();
+    const ROUNDS_PER_CONFIG: u64 = 20;
+
+    let mut runs = 0u64;
+    for (ci, cfg) in configs.iter().enumerate() {
+        let reference = {
+            let dag = RandDag::generate(cfg.clone());
+            seq::run(&dag).unwrap();
+            dag.all_keys()
+                .into_iter()
+                .map(|k| (k, dag.value_of(k).unwrap()))
+                .collect::<HashMap<Key, u64>>()
+        };
+        for round in 0..ROUNDS_PER_CONFIG {
+            for use_priority in [false, true] {
+                let dag = Arc::new(RandDag::generate(cfg.clone()));
+                let keys = dag.all_keys();
+                let phase = phase_of(round);
+                // 0%, 25%, 50%, 75% of the tasks fail this round.
+                let count = (round as usize % 4) * keys.len() / 4;
+                let plan_seed = round.wrapping_mul(2027) + ci as u64;
+                let plan = Arc::new(FaultPlan::sample(&keys, count, phase, plan_seed));
+                let schedule_seed = ((ci as u64) << 32) | (round << 1) | use_priority as u64;
+                let mode = if use_priority { "prio" } else { "fifo" };
+                let label = format!("randdag-cfg{ci}-round{round}-{phase:?}-{mode}");
+
+                let monitor = Arc::new(DeadlineMonitor::new());
+                let opts = SchedOpts {
+                    priority: use_priority.then(|| dag.priority_fn()),
+                    deadline: Some(Arc::clone(&monitor)),
+                };
+                let (_, trace, report) = det_traced_run_opts(
+                    Arc::clone(&dag) as Arc<dyn TaskGraph>,
+                    Arc::clone(&plan),
+                    schedule_seed,
+                    opts,
+                );
+                assert!(report.sink_completed, "{label}: sink must complete");
+                assert_eq!(
+                    monitor.len(),
+                    dag.task_count(),
+                    "{label}: every task records exactly one first completion"
+                );
+                let dag2 = Arc::clone(&dag);
+                let extra = check_result_equivalence(
+                    &keys,
+                    |k| dag2.value_of(k),
+                    |k| reference.get(&k).copied(),
+                );
+                assert_oracle_clean(
+                    &label,
+                    schedule_seed,
+                    &plan,
+                    dag.as_ref(),
+                    &trace,
+                    &report,
+                    OracleMode::Strict,
+                    extra,
+                );
+                runs += 1;
+            }
+        }
+    }
+    assert!(runs >= 200, "campaign must cover >= 200 runs, got {runs}");
+}
+
+/// Mutation test (acceptance criterion): invert the priority comparator —
+/// boost exactly the *non*-critical tasks — and verify the deadline
+/// metric regresses while G1–G6 still hold. On the deterministic pool the
+/// metric is `DeadlineMonitor::mean_seq` over the Hard tasks (their mean
+/// completion index): a pure function of the schedule seed, so the
+/// comparison is noise-free. The intact priority function must place Hard
+/// tasks strictly earlier on average than the inverted one; correctness
+/// guarantees must be indifferent to the pop order either way.
+#[test]
+fn inverted_priority_regresses_deadline_metric_but_not_guarantees() {
+    let mut cfg = DagGenConfig::new(8, 5, 0.12, 0x1BAD_C0DE);
+    cfg.critical_ratio = 0.3;
+    cfg.wcet_max = 8;
+    const SEEDS: u64 = 32;
+
+    let run_with = |prio_fn: nabbit_ft::scheduler::PriorityFn, seed: u64, label: &str| -> f64 {
+        let dag = Arc::new(RandDag::generate(cfg.clone()));
+        let keys = dag.all_keys();
+        let plan = Arc::new(FaultPlan::sample(&keys, 3, Phase::AfterCompute, seed));
+        let monitor = Arc::new(DeadlineMonitor::new());
+        let opts = SchedOpts {
+            priority: Some(prio_fn),
+            deadline: Some(Arc::clone(&monitor)),
+        };
+        let (_, trace, report) = det_traced_run_opts(
+            Arc::clone(&dag) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            seed,
+            opts,
+        );
+        assert!(report.sink_completed, "{label} seed {seed}");
+        assert_oracle_clean(
+            label,
+            seed,
+            &plan,
+            dag.as_ref(),
+            &trace,
+            &report,
+            OracleMode::Strict,
+            Vec::new(),
+        );
+        monitor.mean_seq(&dag.hard_tasks())
+    };
+
+    let probe = RandDag::generate(cfg.clone());
+    assert!(
+        !probe.hard_tasks().is_empty() && probe.critical_tasks().len() < probe.task_count() - 1,
+        "config must leave both critical and non-critical tasks to reorder"
+    );
+
+    let mut good_total = 0.0f64;
+    let mut bad_total = 0.0f64;
+    for seed in 0..SEEDS {
+        let dag = RandDag::generate(cfg.clone());
+        good_total += run_with(dag.priority_fn(), seed, "prio-mutation-good");
+        // The broken comparator: exactly inverted — critical tasks wait
+        // behind everything else.
+        let correct = dag.priority_fn();
+        let inverted: nabbit_ft::scheduler::PriorityFn = Arc::new(move |k| match correct(k) {
+            Priority::High => Priority::Normal,
+            Priority::Normal => Priority::High,
+        });
+        bad_total += run_with(inverted, seed, "prio-mutation-inverted");
+    }
+    let good_mean = good_total / SEEDS as f64;
+    let bad_mean = bad_total / SEEDS as f64;
+    assert!(
+        good_mean < bad_mean,
+        "inverted priority must regress the mean Hard-task completion index: \
+         intact {good_mean:.2} vs inverted {bad_mean:.2} — if this fails, the \
+         deadline metric cannot detect a broken comparator"
+    );
 }
 
 /// The whole point of the deterministic pool: the same (graph, fault
