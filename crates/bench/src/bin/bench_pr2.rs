@@ -67,11 +67,12 @@ fn main() {
     let rows: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     let json = format!(
         "{{\n  \"schema\": \"bench_pr2/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
          \"benches\": [\n{}\n  ]\n}}\n",
         ft_bench::meta::git_rev(),
         threads,
         reps,
+        ft_bench::meta::POOL_REUSE,
         rows.join(",\n")
     );
     let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));

@@ -224,11 +224,13 @@ fn main() {
     let rows: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     let json = format!(
         "{{\n  \"schema\": \"bench_pr4/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"micro\": {{\n{}\n  }},\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
+         \"micro\": {{\n{}\n  }},\n  \
          \"benches\": [\n{}\n  ]\n}}\n",
         ft_bench::meta::git_rev(),
         threads,
         reps,
+        ft_bench::meta::POOL_REUSE,
         micro_rows.join(",\n"),
         rows.join(",\n")
     );

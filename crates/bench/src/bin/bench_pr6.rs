@@ -337,11 +337,13 @@ fn main() {
     let rows: Vec<String> = sweeps.iter().map(|s| s.to_json()).collect();
     let json = format!(
         "{{\n  \"schema\": \"bench_pr6/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"faults\": {},\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
+         \"faults\": {},\n  \
          \"work_unit\": {},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
         ft_bench::meta::git_rev(),
         threads,
         reps,
+        ft_bench::meta::POOL_REUSE,
         faults,
         work_unit,
         rows.join(",\n")

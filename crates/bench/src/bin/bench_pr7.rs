@@ -1,0 +1,395 @@
+//! `bench_pr7` — resident graph service vs. pool-spin-up-per-graph.
+//!
+//! Emits `BENCH_PR7.json`: throughput of a stream of graph executions under
+//! five serving disciplines, all on the same busy-work wavefront workload
+//! (a few µs of compute per task, so a graph is dominated by its own work
+//! and the per-graph *lifecycle* cost is the differentiator):
+//!
+//! * `spinup_per_graph` — the pre-service discipline this PR retires: a
+//!   fresh [`Pool`] is constructed for every graph, runs it to quiescence
+//!   and is torn down (thread spawn + join on every graph).
+//! * `resident_sequential` — one resident pool, one blocking
+//!   `FtScheduler::run` per graph (`Engine::run`'s pool-wide barrier).
+//! * `resident_service` — one resident pool behind a [`GraphService`]: the
+//!   whole stream is submitted as concurrent instances (epochs) under the
+//!   bounded in-flight budget; backpressured submissions wait for the
+//!   oldest ticket. Per-submission latency is sampled here.
+//! * `multi_client_spinup` — concurrent clients under the pre-service
+//!   discipline: each client thread spins its own pool up per graph, and
+//!   the pools contend for the same cores.
+//! * `multi_client_service` — the same client threads, each with its own
+//!   `GraphService` front end over the one shared resident pool.
+//!
+//! The headline `service_vs_spinup` ratio compares the two multi-client
+//! disciplines — the scenario the resident service exists for. The
+//! single-stream ratio is recorded as `single_stream_vs_spinup` for
+//! context (a lone serial stream leaves no idle time to reclaim, so it
+//! hovers near 1.0 on a small box).
+//!
+//! Usage: `bench_pr7 [--reps N] [--threads T] [--out PATH]
+//! [--check [--ref BENCH_PR7.json]]`
+//!
+//! `--check` gates (exit 1 on failure):
+//! * multi-client service throughput must reach **≥ 1.0×** the
+//!   multi-client spin-up-per-graph throughput (the acceptance bar for
+//!   keeping one pool resident);
+//! * against `--ref`, the within-run `service_vs_spinup` ratio must not
+//!   fall below 0.6× the reference ratio (a within-run ratio, so the
+//!   committed reference transfers across machines of different speed).
+//!
+//! `FT_BENCH_REPS` / `FT_BENCH_THREADS` override the defaults (CLI flags
+//! override both); resolved values, the git revision and the `pool_reuse`
+//! flag land in the JSON.
+
+use ft_bench::grids::EmptyGrid;
+use ft_bench::measure::Stats;
+use ft_steal::pool::{Pool, PoolConfig};
+use nabbit_ft::fault::Fault;
+use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
+use nabbit_ft::scheduler::{FtScheduler, GraphService, ServiceConfig};
+use std::hint::black_box;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Side length of each graph in the stream (`GRID_N²` tasks per graph —
+/// big enough that a graph is real work, small enough that pool spin-up
+/// is a visible fraction of it).
+const GRID_N: i64 = 8;
+/// Busy-work iterations per task: each task computes for a few µs so a
+/// graph is dominated by its own work, and the per-graph *lifecycle* cost
+/// (thread spawn/join vs. wake-from-park vs. instance bookkeeping) is the
+/// differentiator rather than raw single-task scheduling jitter.
+const WORK_ITERS: u64 = 10_000;
+
+/// [`EmptyGrid`] edges with a calibrated busy-work compute.
+struct WorkGrid(EmptyGrid);
+
+impl TaskGraph for WorkGrid {
+    fn sink(&self) -> Key {
+        self.0.sink()
+    }
+    fn predecessors(&self, k: Key) -> Vec<Key> {
+        self.0.predecessors(k)
+    }
+    fn successors(&self, k: Key) -> Vec<Key> {
+        self.0.successors(k)
+    }
+    fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+        let mut acc = 1u64;
+        for i in 1..WORK_ITERS {
+            acc = acc.wrapping_mul(i) ^ (acc >> 7);
+        }
+        black_box(acc);
+        Ok(())
+    }
+}
+/// Graphs executed per measured rep.
+const GRAPHS: usize = 24;
+/// Client threads in the multi-client mode (each runs `GRAPHS / CLIENTS`
+/// graphs through its own service front end).
+const CLIENTS: usize = 8;
+/// In-flight instance budget for the service modes; below [`GRAPHS`] on
+/// purpose so the measured stream exercises the backpressure path.
+const IN_FLIGHT: usize = 16;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        max_in_flight: IN_FLIGHT,
+        ..ServiceConfig::default()
+    }
+}
+
+/// One graph execution on `pool` via the blocking batch path.
+fn run_one(pool: &Pool, grid: &Arc<dyn TaskGraph>) {
+    let report = FtScheduler::new(Arc::clone(grid)).run(pool);
+    assert!(report.sink_completed, "stream graph must complete");
+}
+
+/// The retired discipline: fresh pool per graph, torn down after.
+fn rep_spinup(threads: usize, grid: &Arc<dyn TaskGraph>) {
+    for _ in 0..GRAPHS {
+        let pool = Pool::new(PoolConfig::with_threads(threads));
+        run_one(&pool, grid);
+    }
+}
+
+/// One resident pool, blocking run per graph.
+fn rep_resident_sequential(pool: &Pool, grid: &Arc<dyn TaskGraph>) {
+    for _ in 0..GRAPHS {
+        run_one(pool, grid);
+    }
+}
+
+/// One resident pool behind a service; the stream becomes concurrent
+/// instances. `latencies_ns` (when given) collects per-submit latency.
+fn rep_resident_service(pool: &Pool, grid: &Arc<dyn TaskGraph>, latencies_ns: &mut Vec<f64>) {
+    let service = GraphService::with_config(pool, service_config());
+    let mut tickets = std::collections::VecDeque::new();
+    for _ in 0..GRAPHS {
+        let sched = FtScheduler::new(Arc::clone(grid));
+        loop {
+            let t0 = Instant::now();
+            match service.submit(&sched) {
+                Ok(ticket) => {
+                    latencies_ns.push(t0.elapsed().as_nanos() as f64);
+                    tickets.push_back(ticket);
+                    break;
+                }
+                Err(_backpressure) => {
+                    // Budget exhausted: retire the oldest instance first.
+                    let ticket = tickets.pop_front().expect("backpressure implies in-flight");
+                    let done = ticket.wait();
+                    assert!(done.report.sink_completed);
+                }
+            }
+        }
+    }
+    for ticket in tickets {
+        let done = ticket.wait();
+        assert!(done.report.sink_completed);
+    }
+}
+
+/// The pre-service discipline under concurrent clients: [`CLIENTS`]
+/// threads, each spinning up (and tearing down) its own pool for every
+/// graph of its stream — the pools contend for the same cores.
+fn rep_multi_client_spinup(threads: usize, grid: &Arc<dyn TaskGraph>) {
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            s.spawn(|| {
+                for _ in 0..GRAPHS / CLIENTS {
+                    let pool = Pool::new(PoolConfig::with_threads(threads));
+                    run_one(&pool, grid);
+                }
+            });
+        }
+    });
+}
+
+/// The stream split across [`CLIENTS`] threads, each with its own service
+/// front end over the shared resident pool.
+fn rep_multi_client(pool: &Pool, grid: &Arc<dyn TaskGraph>) {
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            s.spawn(|| {
+                let service = GraphService::with_config(pool, service_config());
+                let per_client_graphs = GRAPHS / CLIENTS;
+                let mut tickets = Vec::with_capacity(per_client_graphs);
+                for _ in 0..per_client_graphs {
+                    let sched = FtScheduler::new(Arc::clone(grid));
+                    // Budget ≥ per-client stream, so no retry loop needed.
+                    tickets.push(service.submit(&sched).expect("within per-client budget"));
+                }
+                for ticket in tickets {
+                    assert!(ticket.wait().report.sink_completed);
+                }
+            });
+        }
+    });
+}
+
+struct Mode {
+    name: &'static str,
+    stats: Stats,
+    graphs: usize,
+}
+
+impl Mode {
+    fn graphs_per_s(&self) -> f64 {
+        // Min-of-reps: robust against scheduler interference on CI boxes.
+        self.graphs as f64 / self.stats.min
+    }
+    fn to_json(&self) -> String {
+        format!(
+            "    \"{}\": {{\n      \"graphs_per_s\": {:.1},\n      \
+             \"mean_s\": {:.6},\n      \"min_s\": {:.6},\n      \
+             \"std_s\": {:.6}\n    }}",
+            self.name,
+            self.graphs_per_s(),
+            self.stats.mean,
+            self.stats.min,
+            self.stats.std
+        )
+    }
+}
+
+/// Pull the `service_vs_spinup` ratio out of a committed `BENCH_PR7.json`
+/// (same line-oriented no-serde scan as the other snapshot binaries).
+fn parse_reference_ratio(text: &str) -> Option<f64> {
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"service_vs_spinup\":") {
+            return rest.trim().trim_end_matches(',').parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
+    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 4);
+    let mut out = String::from("BENCH_PR7.json");
+    let mut check = false;
+    let mut reference: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads T")
+            }
+            "--out" => out = args.next().expect("--out PATH"),
+            "--check" => check = true,
+            "--ref" => reference = Some(args.next().expect("--ref PATH")),
+            other => {
+                eprintln!(
+                    "unknown arg {other}; usage: bench_pr7 [--reps N] [--threads T] \
+                     [--out PATH] [--check --ref BENCH_PR7.json]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let grid: Arc<dyn TaskGraph> = Arc::new(WorkGrid(EmptyGrid { n: GRID_N }));
+    let pool = Pool::new(PoolConfig::with_threads(threads));
+
+    // Warm every discipline off the clock (thread spawn paths, code pages,
+    // the service's first-submission allocations).
+    rep_spinup(threads, &grid);
+    rep_resident_sequential(&pool, &grid);
+    rep_resident_service(&pool, &grid, &mut Vec::new());
+    rep_multi_client_spinup(threads, &grid);
+    rep_multi_client(&pool, &grid);
+
+    let mut latencies_ns: Vec<f64> = Vec::new();
+    let modes = vec![
+        Mode {
+            name: "spinup_per_graph",
+            stats: ft_bench::measure(reps, || rep_spinup(threads, &grid)),
+            graphs: GRAPHS,
+        },
+        Mode {
+            name: "resident_sequential",
+            stats: ft_bench::measure(reps, || rep_resident_sequential(&pool, &grid)),
+            graphs: GRAPHS,
+        },
+        Mode {
+            name: "resident_service",
+            stats: ft_bench::measure(reps, || {
+                rep_resident_service(&pool, &grid, &mut latencies_ns)
+            }),
+            graphs: GRAPHS,
+        },
+        Mode {
+            name: "multi_client_spinup",
+            stats: ft_bench::measure(reps, || rep_multi_client_spinup(threads, &grid)),
+            graphs: (GRAPHS / CLIENTS) * CLIENTS,
+        },
+        Mode {
+            name: "multi_client_service",
+            stats: ft_bench::measure(reps, || rep_multi_client(&pool, &grid)),
+            graphs: (GRAPHS / CLIENTS) * CLIENTS,
+        },
+    ];
+    for m in &modes {
+        println!(
+            "{:<22} {:>8.1} graphs/s   (mean {:.4}s ± {:.4}, min {:.4}s)",
+            m.name,
+            m.graphs_per_s(),
+            m.stats.mean,
+            m.stats.std,
+            m.stats.min
+        );
+    }
+
+    let lat = Stats::from_samples(&latencies_ns);
+    println!(
+        "submit latency: mean {:.1}us  min {:.1}us  max {:.1}us  ({} samples)",
+        lat.mean / 1e3,
+        lat.min / 1e3,
+        lat.max / 1e3,
+        lat.reps
+    );
+
+    // The headline ratio pits like against like: concurrent clients served
+    // by the resident service vs. the same clients each spinning pools up.
+    // The single-stream ratio is informational — on a single-core box a
+    // lone serial stream leaves no idle time for the service to reclaim.
+    let service_ratio = modes[4].graphs_per_s() / modes[3].graphs_per_s();
+    let single_stream_ratio = modes[2].graphs_per_s() / modes[0].graphs_per_s();
+    println!(
+        "multi_client service_vs_spinup {:.2}x   single_stream_vs_spinup {:.2}x",
+        service_ratio, single_stream_ratio
+    );
+
+    let rows: Vec<String> = modes.iter().map(|m| m.to_json()).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"bench_pr7/v1\",\n  \"git_rev\": \"{}\",\n  \
+         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
+         \"grid_n\": {},\n  \"graphs_per_rep\": {},\n  \"clients\": {},\n  \
+         \"in_flight_budget\": {},\n  \
+         \"submit_latency_us\": {{\n    \"mean\": {:.2},\n    \"min\": {:.2},\n    \
+         \"max\": {:.2},\n    \"samples\": {}\n  }},\n  \
+         \"modes\": {{\n{}\n  }},\n  \
+         \"service_vs_spinup\": {:.4},\n  \"single_stream_vs_spinup\": {:.4}\n}}\n",
+        ft_bench::meta::git_rev(),
+        threads,
+        reps,
+        ft_bench::meta::POOL_REUSE,
+        GRID_N,
+        GRAPHS,
+        CLIENTS,
+        IN_FLIGHT,
+        lat.mean / 1e3,
+        lat.min / 1e3,
+        lat.max / 1e3,
+        lat.reps,
+        rows.join(",\n"),
+        service_ratio,
+        single_stream_ratio
+    );
+    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("wrote {out}");
+
+    if !check {
+        return;
+    }
+
+    // --- Gate ------------------------------------------------------------
+    let mut failures = Vec::new();
+    if service_ratio < 1.0 {
+        failures.push(format!(
+            "multi-client resident-service throughput is {service_ratio:.2}x the \
+             spin-up-per-graph baseline — must be >= 1.0x"
+        ));
+    }
+    if let Some(path) = reference {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let ref_ratio = parse_reference_ratio(&text)
+            .unwrap_or_else(|| panic!("no service_vs_spinup in {path}"));
+        // Within-run ratio vs within-run ratio: transfers across machine
+        // speeds; 0.6x leaves room for CI interference while catching a
+        // service front end that lost its advantage.
+        if service_ratio < 0.6 * ref_ratio {
+            failures.push(format!(
+                "service_vs_spinup {service_ratio:.2} fell below 0.6x the reference \
+                 {ref_ratio:.2}"
+            ));
+        } else {
+            println!("check service_vs_spinup: {service_ratio:.2} vs reference {ref_ratio:.2}");
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

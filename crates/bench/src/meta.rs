@@ -2,6 +2,16 @@
 //! overrides and the git revision, recorded into every emitted JSON so a
 //! checked-in reference file says exactly how it was produced.
 
+/// Whether the `bench_pr*` snapshot binaries construct **one resident
+/// worker pool** and reuse it across every rep and workload (as opposed to
+/// spinning a pool up per measurement). All snapshot binaries have worked
+/// this way since PR 2 — the pool outlives every timed region, so thread
+/// spawn/join never pollutes a sample — and each binary records the fact in
+/// its emitted JSON so checked-in references are explicit about it.
+/// `bench_pr7` additionally *measures* the spin-up-per-graph alternative as
+/// its baseline.
+pub const POOL_REUSE: bool = true;
+
 /// Read a `usize` override from the environment, falling back to
 /// `default`. CLI flags take precedence over the environment, so callers
 /// resolve `default → env → flag` in that order.

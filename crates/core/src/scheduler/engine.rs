@@ -240,10 +240,18 @@ impl<P: FtPolicy> Engine<P> {
         exec.execute_job(Box::new(move |scope: &Scope<'_>| {
             scope.spawn_with(prio, move |s| this.init_and_compute(s, sd, sink, life));
         }));
+        self.finish_report(start)
+    }
+
+    /// Snapshot the run statistics into a [`RunReport`]: metrics counters,
+    /// the sink's completion status, and the elapsed time since `start`.
+    /// Shared by [`Engine::run`] and the graph service's per-instance
+    /// tickets (`super::service`), which finish reports asynchronously.
+    pub(super) fn finish_report(&self, start: Instant) -> RunReport {
         let mut report = self.metrics.snapshot();
         report.sink_completed = self
             .map
-            .get(sink)
+            .get(self.graph.sink())
             .map(|d| matches!(P::read_status(&d), Ok(Status::Completed)))
             .unwrap_or(false);
         report.elapsed = start.elapsed();

@@ -10,6 +10,9 @@
 //! * [`ft`] — the fault-tolerant scheduler: `Engine<FtRecovery>`, the
 //!   shaded additions of Figure 2; its recovery routines (Figure 3) live
 //!   in [`recovery`].
+//! * [`service`] — the resident [`GraphService`]: a stream of engines
+//!   submitted as concurrent instances (epochs) over one long-lived
+//!   executor, with admission control and per-instance reports.
 //!
 //! Both instantiations drive the same [`ft_steal::Pool`] and accept the
 //! same [`crate::graph::TaskGraph`], so the Figure 4 overhead comparison
@@ -19,7 +22,12 @@ pub mod baseline;
 pub mod engine;
 pub mod ft;
 pub mod recovery;
+pub mod service;
 
 pub use baseline::{BaselineScheduler, NoFt};
 pub use engine::{Descriptor, Engine, FtPolicy, PriorityFn, SchedOpts};
 pub use ft::{FtRecovery, FtScheduler};
+pub use service::{
+    Backpressure, BackpressureReason, GraphService, InstanceReport, InstanceTicket, ServiceConfig,
+    ServiceStats,
+};

@@ -1,0 +1,326 @@
+//! The resident graph service: one long-lived executor serving a stream of
+//! concurrent graph instances.
+//!
+//! [`Engine::run`] is batch-shaped: one engine, one blocking call, one
+//! pool-wide quiescence barrier. [`GraphService`] turns the same engines
+//! into a *service*: each [`GraphService::submit`] opens an **epoch** — a
+//! graph instance with its own task-map namespace, completion latch, trace
+//! shard and [`RunReport`] — and independent instances execute concurrently
+//! over the shared workers. Namespace isolation falls out of the existing
+//! one-engine-one-run design: every submission is its own [`Engine`], so
+//! its task map, metrics, recovery table and optional trace are private to
+//! the epoch, and the paper's localized recovery never crosses an epoch
+//! boundary (a fault in one submitted graph re-executes tasks of that
+//! graph only; co-resident instances observe nothing).
+//!
+//! Admission control is explicit: a bounded in-flight-instance budget
+//! (an [`AdmissionGate`]) plus a queued-jobs watermark turn `submit` into
+//! `Err(`[`Backpressure`]`)` instead of unbounded queue growth. The slot is
+//! returned by the instance's quiesce hook — the latch-tripping decrement
+//! of the instance's last job — so occupancy tracks actual execution, not
+//! ticket lifetimes.
+//!
+//! The service works over any [`Executor`]: the multithreaded pool (whose
+//! workers drain instances autonomously) and the deterministic
+//! single-threaded pool (call [`GraphService::drive`] to run all pending
+//! instances in one seeded interleaving before waiting on tickets).
+
+use super::engine::{Engine, FtPolicy};
+use crate::metrics::RunReport;
+use ft_steal::instance::{AdmissionGate, InstanceHandle, InstanceStats, QuiesceHook};
+use ft_steal::pool::{Executor, Job, Scope};
+use ft_sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Admission-control settings for a [`GraphService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum instances admitted but not yet quiesced. Submissions beyond
+    /// this budget get [`Backpressure`] with
+    /// [`BackpressureReason::InFlightBudget`].
+    pub max_in_flight: usize,
+    /// Refuse admission while the executor's queues already hold at least
+    /// this many jobs ([`BackpressureReason::QueueDepth`]). The default is
+    /// high enough that the in-flight budget is normally the binding
+    /// constraint.
+    pub queued_jobs_watermark: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_in_flight: 16,
+            queued_jobs_watermark: 100_000,
+        }
+    }
+}
+
+/// Which admission bound a rejected submission hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressureReason {
+    /// The bounded in-flight-instance budget is exhausted.
+    InFlightBudget,
+    /// The executor's queues are above the configured watermark.
+    QueueDepth,
+}
+
+/// A submission was refused; retry after draining some in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Which bound rejected the submission.
+    pub reason: BackpressureReason,
+    /// Instances in flight at rejection time.
+    pub in_flight: u64,
+    /// Jobs visible in the executor's queues at rejection time.
+    pub queued: u64,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            BackpressureReason::InFlightBudget => write!(
+                f,
+                "backpressure: in-flight instance budget exhausted ({} in flight)",
+                self.in_flight
+            ),
+            BackpressureReason::QueueDepth => write!(
+                f,
+                "backpressure: executor queue depth {} above watermark",
+                self.queued
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// Counters shared with instance quiesce hooks (hence `'static` + `Arc`).
+struct ServiceShared {
+    gate: AdmissionGate,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Aggregate service counters (a snapshot; counters advance concurrently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Instances admitted so far.
+    pub submitted: u64,
+    /// Instances that have quiesced.
+    pub completed: u64,
+    /// Submissions refused with [`Backpressure`].
+    pub rejected: u64,
+    /// Instances currently in flight.
+    pub in_flight: u64,
+    /// The configured in-flight budget.
+    pub max_in_flight: u64,
+}
+
+/// A resident front end over one long-lived executor; see the module docs.
+pub struct GraphService<'e> {
+    exec: &'e dyn Executor,
+    watermark: u64,
+    next_id: AtomicU64,
+    shared: Arc<ServiceShared>,
+}
+
+impl std::fmt::Debug for GraphService<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphService")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'e> GraphService<'e> {
+    /// Service over `exec` with default admission settings.
+    pub fn new(exec: &'e dyn Executor) -> Self {
+        Self::with_config(exec, ServiceConfig::default())
+    }
+
+    /// Service over `exec` with explicit admission settings.
+    pub fn with_config(exec: &'e dyn Executor, cfg: ServiceConfig) -> Self {
+        GraphService {
+            exec,
+            watermark: cfg.queued_jobs_watermark.max(1),
+            next_id: AtomicU64::new(0),
+            shared: Arc::new(ServiceShared {
+                gate: AdmissionGate::new(cfg.max_in_flight),
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Submit `engine` as a new instance (epoch).
+    ///
+    /// On admission the engine's traversal starts from its sink exactly as
+    /// in [`Engine::run`], but asynchronously: the returned
+    /// [`InstanceTicket`] is the awaitable/pollable submission handle.
+    /// Every policy works — a clean or fault-planned `FtScheduler`, or the
+    /// baseline scheduler — because the engine *is* the namespace.
+    pub fn submit<P: FtPolicy>(
+        &self,
+        engine: &Arc<Engine<P>>,
+    ) -> Result<InstanceTicket<P>, Backpressure> {
+        let queued = self.exec.queued_jobs();
+        if queued >= self.watermark {
+            // ord: the counters in this file are Relaxed — statistics only;
+            // admission correctness lives in the gate's SeqCst protocol.
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Backpressure {
+                reason: BackpressureReason::QueueDepth,
+                in_flight: self.shared.gate.in_flight(),
+                queued,
+            });
+        }
+        if let Err(held) = self.shared.gate.try_acquire() {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Backpressure {
+                reason: BackpressureReason::InFlightBudget,
+                in_flight: held,
+                queued,
+            });
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+
+        // The instance's root job mirrors the prologue of `Engine::run`:
+        // insert the sink, then spawn its traversal at the sink's priority.
+        // All of it runs *inside* the instance scope, so the whole
+        // traversal tree lands on this instance's latch.
+        let this = Arc::clone(engine);
+        let root: Job = Box::new(move |s: &Scope<'_>| {
+            let sink = this.graph.sink();
+            this.insert_if_absent(sink, s.worker_index());
+            let Some((sd, life)) = this.get_task(sink) else {
+                debug_assert!(false, "sink {sink} vanished right after insertion");
+                return;
+            };
+            let prio = this.prio_of(sink);
+            let engine = Arc::clone(&this);
+            s.spawn_with(prio, move |s| engine.init_and_compute(s, sd, sink, life));
+        });
+
+        let shared = Arc::clone(&self.shared);
+        let hook: QuiesceHook = Box::new(move || {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.gate.release();
+        });
+        let handle = self.exec.submit_instance(root, Some(hook));
+        Ok(InstanceTicket {
+            id,
+            engine: Arc::clone(engine),
+            handle,
+            start,
+        })
+    }
+
+    /// Run pending instance work on executors without autonomous workers
+    /// (forwards to [`Executor::drive`]; no-op on the threaded pool).
+    pub fn drive(&self) {
+        self.exec.drive();
+    }
+
+    /// Instances currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.gate.in_flight()
+    }
+
+    /// Snapshot of the aggregate service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            in_flight: self.shared.gate.in_flight(),
+            max_in_flight: self.shared.gate.limit(),
+        }
+    }
+}
+
+/// Awaitable/pollable handle to one admitted instance.
+///
+/// Dropping the ticket does not cancel the instance; the epoch runs to
+/// quiescence and releases its admission slot regardless.
+pub struct InstanceTicket<P: FtPolicy> {
+    id: u64,
+    engine: Arc<Engine<P>>,
+    handle: InstanceHandle,
+    start: Instant,
+}
+
+impl<P: FtPolicy> std::fmt::Debug for InstanceTicket<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceTicket")
+            .field("id", &self.id)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl<P: FtPolicy> InstanceTicket<P> {
+    /// Service-assigned instance id (monotonic per service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True once every job of the instance has finished (pollable).
+    pub fn is_done(&self) -> bool {
+        self.handle.is_done()
+    }
+
+    /// The engine running this instance (its metrics/trace/task map are
+    /// the per-tenant namespace).
+    pub fn engine(&self) -> &Arc<Engine<P>> {
+        &self.engine
+    }
+
+    /// Block until the instance quiesces, then produce its report.
+    ///
+    /// Re-raises the first panic that occurred inside the instance (and
+    /// only this instance). On a single-threaded executor, call
+    /// [`GraphService::drive`] first or this blocks forever.
+    pub fn wait(self) -> InstanceReport {
+        self.handle.wait();
+        self.finish()
+    }
+
+    /// Non-blocking completion poll: the report if the instance has
+    /// quiesced, the ticket back otherwise.
+    pub fn try_wait(self) -> Result<InstanceReport, InstanceTicket<P>> {
+        if self.handle.is_done() {
+            Ok(self.finish())
+        } else {
+            Err(self)
+        }
+    }
+
+    fn finish(self) -> InstanceReport {
+        if let Some(payload) = self.handle.take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+        InstanceReport {
+            id: self.id,
+            report: self.engine.finish_report(self.start),
+            jobs: self.handle.stats(),
+        }
+    }
+}
+
+/// Per-instance outcome: the epoch's own [`RunReport`] (fault, recovery
+/// and re-execution counters included) plus its job accounting.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Service-assigned instance id.
+    pub id: u64,
+    /// The instance's run report — same shape as [`Engine::run`] returns,
+    /// with `elapsed` measured from submission to report creation.
+    pub report: RunReport,
+    /// Pool-side job accounting for the instance.
+    pub jobs: InstanceStats,
+}

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+use ft_steal::instance::{instance_root, InstanceHandle, QuiesceHook};
 use ft_steal::pool::{Executor, Job, Scope, SpawnHost};
 use ft_steal::priority::Priority;
 use ft_steal::rng::XorShift64Star;
@@ -177,6 +178,34 @@ impl Executor for DetPool {
 
     fn num_threads(&self) -> usize {
         1
+    }
+
+    /// Enqueue an instance root **without draining**: submissions
+    /// accumulate, and a later [`Executor::drive`] interleaves the jobs of
+    /// every pending instance through the one seeded RNG. The same seed
+    /// plus the same submission sequence therefore replays the identical
+    /// cross-instance schedule — the property the concurrent-submission
+    /// oracle campaigns rely on.
+    fn submit_instance(&self, root: Job, on_quiesce: Option<QuiesceHook>) -> InstanceHandle {
+        let (job, handle) = instance_root(root, on_quiesce);
+        self.queue.borrow_mut().push(job);
+        handle
+    }
+
+    fn queued_jobs(&self) -> u64 {
+        (self.queue.borrow().len() + self.hot.borrow().len()) as u64
+    }
+
+    /// Drain every pending job (all submitted instances interleaved) in
+    /// seeded-random order on the calling thread. Instance panics stay in
+    /// their handles; panics of plain `spawn`ed jobs are re-raised here
+    /// like in [`DetPool::run_until_complete`].
+    fn drive(&self) {
+        let scope = Scope::for_host(self);
+        self.drain(&scope);
+        if let Some(payload) = self.panic.borrow_mut().take() {
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 

@@ -1,0 +1,397 @@
+//! Per-instance (epoch) completion tracking on a shared executor.
+//!
+//! [`Pool::run_until_complete`](crate::pool::Pool::run_until_complete)
+//! detects quiescence with one pool-wide [`CountLatch`], which forces the
+//! pool into batch shape: one graph run at a time, with a barrier between
+//! runs. This module removes that barrier. Each *instance* (one graph
+//! submission, one epoch) carries its own latch, panic slot and job
+//! counters in an [`InstanceState`]; every job belonging to the instance is
+//! wrapped so that
+//!
+//! 1. the instance latch is incremented **before** the job becomes visible
+//!    to any worker (enroll-before-publish, so the latch can never trip
+//!    while a job is in flight);
+//! 2. the job body runs under `catch_unwind`, and the first panic payload
+//!    is stored in the *instance's* slot — a panicking graph never poisons
+//!    the pool or a co-resident instance;
+//! 3. spawns performed by the job are themselves wrapped (the job receives
+//!    a [`Scope`] whose host is an [`InstanceHost`] layered over the
+//!    worker's real scope), so the entire transitive job tree of one
+//!    submission is accounted to its own latch;
+//! 4. after the body returns, the latch is decremented; the decrement that
+//!    trips the latch fires the instance's one-shot quiesce hook (used by
+//!    the service layer to release its admission slot).
+//!
+//! Because the wrapper only talks to the *outer* [`Scope`] it was handed,
+//! it works identically on every [`SpawnHost`] — the multithreaded pool and
+//! the deterministic single-threaded pool — without touching their
+//! internals. The cost is one extra allocation and a latch round-trip per
+//! job, which is why the one-instance fast path
+//! ([`Engine::run`](../../nabbit_ft/scheduler/engine/struct.Engine.html))
+//! keeps using the pool-wide latch and pays nothing.
+
+use crate::latch::{CountLatch, Flag};
+use crate::pool::{Job, Scope, SpawnHost};
+use crate::priority::Priority;
+use ft_sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+
+/// One-shot callback fired by the latch-tripping decrement of an instance.
+pub type QuiesceHook = Box<dyn FnOnce() + Send>;
+
+/// Shared state of one graph instance: completion latch, panic slot,
+/// counters, and the one-shot quiesce hook.
+struct InstanceState {
+    /// Jobs of this instance currently enrolled but not finished.
+    latch: CountLatch,
+    /// Set by the latch-tripping job *after* it ran the quiesce hook.
+    /// Waiters block on this flag, not on the latch directly, so a woken
+    /// waiter is guaranteed the hook (slot release, counters) already ran.
+    done: Flag,
+    /// First panic payload raised by a job of this instance.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Fired exactly once, by the decrement that trips the latch.
+    on_quiesce: Mutex<Option<QuiesceHook>>,
+    jobs_spawned: AtomicU64,
+    jobs_executed: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl InstanceState {
+    fn new(on_quiesce: Option<QuiesceHook>) -> Self {
+        InstanceState {
+            latch: CountLatch::new(),
+            done: Flag::new(),
+            panic: Mutex::new(None),
+            on_quiesce: Mutex::new(on_quiesce),
+            jobs_spawned: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    /// Register one job: must happen before the job is published to any
+    /// queue, so the latch count covers every job a worker could observe.
+    fn enroll(&self) {
+        // ord: Relaxed — diagnostic counter only; completion accounting is
+        // carried by the latch increment below.
+        self.jobs_spawned.fetch_add(1, Ordering::Relaxed);
+        self.latch.increment();
+    }
+
+    /// Account a finished job (panicked or not); the decrement that trips
+    /// the latch fires the quiesce hook, then releases the waiters.
+    fn finish_job(&self, panicked: Option<Box<dyn Any + Send>>) {
+        if let Some(payload) = panicked {
+            // ord: Relaxed — diagnostic counter; the payload hand-off is
+            // ordered by the mutex.
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            let mut slot = self.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        // ord: Relaxed — diagnostic counter; see `enroll`.
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        if self.latch.decrement() {
+            // Exactly one decrement observes the 1 -> 0 transition, and no
+            // increment can follow it (only live jobs enroll new jobs), so
+            // the hook fires at most once per instance — strictly before
+            // `done` releases any waiter.
+            let hook = self.on_quiesce.lock().take();
+            if let Some(hook) = hook {
+                hook();
+            }
+            self.done.set();
+        }
+    }
+}
+
+impl std::fmt::Debug for InstanceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceState")
+            .field("latch", &self.latch)
+            // ord: Relaxed — debug snapshot of statistics counters only.
+            .field("jobs_spawned", &self.jobs_spawned.load(Ordering::Relaxed))
+            // ord: Relaxed — debug snapshot of statistics counters only.
+            .field("jobs_executed", &self.jobs_executed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Job-count statistics of one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstanceStats {
+    /// Jobs enrolled into the instance (root + transitive spawns).
+    pub jobs_spawned: u64,
+    /// Jobs that finished executing (panicked jobs included).
+    pub jobs_executed: u64,
+    /// Jobs whose body panicked.
+    pub panics: u64,
+}
+
+/// Awaitable/pollable handle to one submitted instance.
+///
+/// Cloneable; all clones observe the same instance. `wait` blocks the
+/// calling thread, so on a single-threaded executor with no autonomous
+/// workers the pending jobs must be driven first (see
+/// [`Executor::drive`](crate::pool::Executor::drive)).
+#[derive(Clone)]
+pub struct InstanceHandle {
+    inst: Arc<InstanceState>,
+}
+
+impl std::fmt::Debug for InstanceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceHandle")
+            .field("done", &self.is_done())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl InstanceHandle {
+    /// True once every job of the instance has finished *and* the quiesce
+    /// hook has run (pollable).
+    pub fn is_done(&self) -> bool {
+        self.inst.done.is_set()
+    }
+
+    /// Block until the instance quiesces and its hook has run (awaitable).
+    pub fn wait(&self) {
+        self.inst.done.wait();
+    }
+
+    /// Take the first panic payload raised by a job of this instance, if
+    /// any. The caller decides whether to re-raise it; the pool itself
+    /// never sees instance panics.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.inst.panic.lock().take()
+    }
+
+    /// Job-count statistics so far.
+    pub fn stats(&self) -> InstanceStats {
+        InstanceStats {
+            // ord: Relaxed — diagnostic counters, racy reads are fine.
+            jobs_spawned: self.inst.jobs_spawned.load(Ordering::Relaxed),
+            jobs_executed: self.inst.jobs_executed.load(Ordering::Relaxed),
+            panics: self.inst.panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`SpawnHost`] layered over the worker's real scope: spawns are wrapped
+/// into the instance before being forwarded to the underlying host.
+struct InstanceHost<'a> {
+    outer: &'a Scope<'a>,
+    inst: &'a Arc<InstanceState>,
+}
+
+impl SpawnHost for InstanceHost<'_> {
+    fn spawn_job(&self, job: Job) {
+        self.spawn_job_with(job, Priority::Normal);
+    }
+
+    fn spawn_job_with(&self, job: Job, prio: Priority) {
+        self.outer.spawn_boxed_with(wrap_job(self.inst, job), prio);
+    }
+
+    fn num_threads(&self) -> usize {
+        self.outer.num_threads()
+    }
+
+    fn worker_index(&self) -> Option<usize> {
+        self.outer.worker_index()
+    }
+}
+
+/// Wrap `job` for `inst`: enroll it in the latch now, and at run time
+/// execute it under an instance scope with `catch_unwind` + finish-job
+/// accounting. The returned job is what actually enters the executor's
+/// queues.
+fn wrap_job(inst: &Arc<InstanceState>, job: Job) -> Job {
+    inst.enroll();
+    let inst = Arc::clone(inst);
+    Box::new(move |outer: &Scope<'_>| {
+        let host = InstanceHost { outer, inst: &inst };
+        let scope = Scope::for_host(&host);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&scope)));
+        inst.finish_job(result.err());
+    })
+}
+
+/// Open a new instance around `root`.
+///
+/// Returns the wrapped root job — ready to be pushed into any
+/// [`SpawnHost`]'s queues — and the [`InstanceHandle`] tracking the
+/// instance's completion. The root is already enrolled, so the handle
+/// cannot observe a spurious early quiescence between this call and the
+/// actual enqueue.
+pub fn instance_root(root: Job, on_quiesce: Option<QuiesceHook>) -> (Job, InstanceHandle) {
+    let inst = Arc::new(InstanceState::new(on_quiesce));
+    let job = wrap_job(&inst, root);
+    (job, InstanceHandle { inst })
+}
+
+/// Bounded admission counter for in-flight instances.
+///
+/// `try_acquire` atomically claims one of `limit` slots or reports the
+/// current occupancy; `release` returns a slot (the service layer calls it
+/// from the instance's quiesce hook). All operations are SeqCst: admission
+/// is cold relative to job execution, and a single total order keeps the
+/// acquire/release handshake trivially correct (modeled in
+/// `tests/loom_instance.rs`).
+pub struct AdmissionGate {
+    in_flight: AtomicU64,
+    limit: u64,
+}
+
+impl std::fmt::Debug for AdmissionGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionGate")
+            .field("in_flight", &self.in_flight())
+            .field("limit", &self.limit)
+            .finish()
+    }
+}
+
+impl AdmissionGate {
+    /// Gate admitting at most `limit` concurrent holders (min 1).
+    pub fn new(limit: usize) -> Self {
+        AdmissionGate {
+            in_flight: AtomicU64::new(0),
+            limit: (limit.max(1)) as u64,
+        }
+    }
+
+    /// The configured in-flight limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Current number of held slots.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Claim one slot: `Ok(held)` with the new occupancy, or `Err(held)`
+    /// with the current occupancy if the gate is full.
+    pub fn try_acquire(&self) -> Result<u64, u64> {
+        let mut cur = self.in_flight.load(Ordering::SeqCst);
+        loop {
+            if cur >= self.limit {
+                return Err(cur);
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(cur + 1),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Return one slot.
+    pub fn release(&self) {
+        let prev = self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev >= 1, "AdmissionGate release without acquire");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{Pool, PoolConfig};
+    use ft_sync::atomic::AtomicUsize;
+
+    #[test]
+    fn instance_quiesces_and_fires_hook_once() {
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        let c = Arc::clone(&counted);
+        let (job, handle) = instance_root(
+            Box::new(move |s| {
+                for _ in 0..64 {
+                    let c = Arc::clone(&c);
+                    s.spawn(move |_| {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }),
+            Some(Box::new(move || {
+                f.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        pool.spawn(move |s| s.spawn_boxed_with(job, Priority::Normal));
+        handle.wait();
+        assert!(handle.is_done());
+        assert_eq!(counted.load(Ordering::Relaxed), 64);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let stats = handle.stats();
+        assert_eq!(stats.jobs_spawned, 65);
+        assert_eq!(stats.jobs_executed, 65);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn instance_panic_is_isolated() {
+        let pool = Pool::new(PoolConfig::with_threads(2));
+        let (job, handle) = instance_root(
+            Box::new(|s| {
+                s.spawn(|_| panic!("instance boom"));
+                s.spawn(|_| {});
+            }),
+            None,
+        );
+        pool.spawn(move |s| s.spawn_boxed_with(job, Priority::Normal));
+        handle.wait();
+        assert_eq!(handle.stats().panics, 1);
+        assert!(handle.take_panic().is_some());
+        assert!(handle.take_panic().is_none(), "payload taken once");
+        // The pool itself is untouched: a plain run sees no panic.
+        pool.run_until_complete(|scope| {
+            scope.spawn(|_| {});
+        });
+    }
+
+    #[test]
+    fn admission_gate_bounds_holders() {
+        let gate = AdmissionGate::new(2);
+        assert_eq!(gate.try_acquire(), Ok(1));
+        assert_eq!(gate.try_acquire(), Ok(2));
+        assert_eq!(gate.try_acquire(), Err(2));
+        gate.release();
+        assert_eq!(gate.try_acquire(), Ok(2));
+        gate.release();
+        gate.release();
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn admission_gate_concurrent_acquires_never_exceed_limit() {
+        let gate = Arc::new(AdmissionGate::new(4));
+        let won = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let gate = Arc::clone(&gate);
+            let won = Arc::clone(&won);
+            handles.push(std::thread::spawn(move || {
+                if gate.try_acquire().is_ok() {
+                    won.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(won.load(Ordering::SeqCst) <= 4);
+        assert_eq!(gate.in_flight(), won.load(Ordering::SeqCst) as u64);
+    }
+}

@@ -110,7 +110,12 @@ impl CountLatch {
     }
 
     /// Mark one item complete; wakes waiters when the count hits zero.
-    pub fn decrement(&self) {
+    ///
+    /// Returns `true` for the decrement that tripped the latch (the 1 → 0
+    /// transition), which happens at most once per quiescence — callers use
+    /// it to run once-only completion actions (e.g. an instance's quiesce
+    /// hook) without a separate race-prone count probe.
+    pub fn decrement(&self) -> bool {
         // ord: AcqRel — the decrement releases the completing job's writes
         // and the final decrement acquires every earlier one, so the waiter
         // woken at zero sees all completed work.
@@ -119,7 +124,9 @@ impl CountLatch {
         if prev == 1 {
             let _g = self.lock.lock();
             self.condvar.notify_all();
+            return true;
         }
+        false
     }
 
     /// Current outstanding count.
@@ -187,9 +194,9 @@ mod tests {
         l.increment();
         l.increment();
         assert_eq!(l.outstanding(), 2);
-        l.decrement();
+        assert!(!l.decrement(), "non-final decrement does not trip");
         assert!(!l.is_quiescent());
-        l.decrement();
+        assert!(l.decrement(), "final decrement reports the trip");
         assert!(l.is_quiescent());
         l.wait(); // must not block
     }

@@ -52,6 +52,7 @@
 
 pub mod deque;
 pub mod injector;
+pub mod instance;
 pub mod latch;
 pub mod metrics;
 pub mod parker;
@@ -59,6 +60,7 @@ pub mod pool;
 pub mod priority;
 pub mod rng;
 
+pub use instance::{AdmissionGate, InstanceHandle, InstanceStats, QuiesceHook};
 pub use latch::{CountLatch, Flag};
 pub use pool::{Executor, Job, Pool, PoolConfig, Scope, SpawnHost};
 pub use priority::{PrioInjector, Priority};

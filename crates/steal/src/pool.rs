@@ -17,6 +17,7 @@
 //! panicking job would leak the quiescence count and deadlock the run.
 
 use crate::deque::{self, Steal, Stealer, Worker};
+use crate::instance::{InstanceHandle, QuiesceHook};
 use crate::latch::CountLatch;
 use crate::metrics::{CachePadded, MetricsSnapshot, WorkerMetrics};
 use crate::parker::Parker;
@@ -68,6 +69,29 @@ pub trait Executor {
 
     /// Number of workers executing jobs.
     fn num_threads(&self) -> usize;
+
+    /// Submit `root` as an independent **instance** (epoch): the job and
+    /// everything it transitively spawns are accounted to a per-instance
+    /// latch instead of the executor-wide one, so concurrent instances
+    /// complete independently over the shared workers. Panics inside the
+    /// instance are captured in the returned handle, never in the
+    /// executor's own panic slot.
+    ///
+    /// Unlike [`Executor::execute_job`] this does not block; await or poll
+    /// the returned [`InstanceHandle`].
+    fn submit_instance(&self, root: Job, on_quiesce: Option<QuiesceHook>) -> InstanceHandle;
+
+    /// Number of jobs currently visible in this executor's queues. The
+    /// service layer uses it as an admission watermark; a racy snapshot is
+    /// fine for that purpose.
+    fn queued_jobs(&self) -> u64;
+
+    /// Run pending instance work to quiescence on executors that have no
+    /// autonomous worker threads (the deterministic single-threaded pool);
+    /// a no-op on threaded pools, whose workers drain instances on their
+    /// own. Call before blocking on an [`InstanceHandle`] when the
+    /// executor might be single-threaded.
+    fn drive(&self) {}
 }
 
 /// Configuration for a [`Pool`].
@@ -173,6 +197,15 @@ impl<'a> Scope<'a> {
         F: FnOnce(&Scope<'_>) + Send + 'static,
     {
         self.host.spawn_job_with(Box::new(f), prio);
+    }
+
+    /// Spawn an already-boxed job with an acquisition priority.
+    ///
+    /// Equivalent to [`Scope::spawn_with`] but avoids re-boxing a [`Job`]
+    /// that already exists — the instance layer (`crate::instance`) uses
+    /// this to forward wrapped jobs without a second allocation.
+    pub fn spawn_boxed_with(&self, job: Job, prio: Priority) {
+        self.host.spawn_job_with(job, prio);
     }
 
     /// Number of worker threads in the executor this scope belongs to.
@@ -421,6 +454,19 @@ impl Executor for Pool {
 
     fn num_threads(&self) -> usize {
         self.state.threads
+    }
+
+    fn submit_instance(&self, root: Job, on_quiesce: Option<QuiesceHook>) -> InstanceHandle {
+        let (job, handle) = crate::instance::instance_root(root, on_quiesce);
+        // The wrapped root goes through the normal spawn path (injector
+        // from a non-worker thread), so workers pick it up like any job;
+        // only the completion accounting differs.
+        self.state.spawn_job(job);
+        handle
+    }
+
+    fn queued_jobs(&self) -> u64 {
+        self.state.queued.load(Ordering::SeqCst)
     }
 }
 

@@ -1,0 +1,127 @@
+//! Loom models for the per-instance (epoch) admission/completion
+//! handshake introduced with the graph service:
+//!
+//! * the [`AdmissionGate`] never admits past its limit under racing
+//!   `try_acquire` calls, and a released slot is re-acquirable;
+//! * the latch-tripping decrement is reported to exactly one caller (the
+//!   foundation of the once-only quiesce hook);
+//! * a waiter that observes an instance as done is guaranteed the quiesce
+//!   hook (slot release) has already run — the ordering the service's
+//!   backpressure accounting relies on.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p ft-steal --test loom_instance
+//! ```
+#![cfg(loom)]
+
+use ft_steal::instance::{instance_root, AdmissionGate};
+use ft_steal::latch::CountLatch;
+use ft_steal::pool::{Job, Scope, SpawnHost};
+use std::sync::Arc;
+
+/// Two threads race for the last slot: exactly one wins.
+#[test]
+fn gate_single_slot_race_admits_exactly_one() {
+    loom::model(|| {
+        let gate = Arc::new(AdmissionGate::new(1));
+        let g1 = Arc::clone(&gate);
+        let t = loom::thread::spawn(move || g1.try_acquire().is_ok());
+        let mine = gate.try_acquire().is_ok();
+        let theirs = t.join().unwrap();
+        assert!(
+            mine ^ theirs,
+            "one slot, two acquirers: exactly one must win (mine={mine}, theirs={theirs})"
+        );
+        assert_eq!(gate.in_flight(), 1);
+        gate.release();
+        assert_eq!(gate.in_flight(), 0);
+    });
+}
+
+/// Release racing a fresh acquire: whether the acquirer wins or loses,
+/// the occupancy stays consistent with the outcome.
+#[test]
+fn gate_release_reopens_slot_consistently() {
+    loom::model(|| {
+        let gate = Arc::new(AdmissionGate::new(1));
+        gate.try_acquire().expect("empty gate admits");
+        let g1 = Arc::clone(&gate);
+        let releaser = loom::thread::spawn(move || g1.release());
+        let won = gate.try_acquire().is_ok();
+        releaser.join().unwrap();
+        assert_eq!(
+            gate.in_flight(),
+            won as u64,
+            "occupancy must match the acquire outcome"
+        );
+    });
+}
+
+/// The 1 → 0 latch transition is reported to exactly one decrementer —
+/// what makes the instance quiesce hook fire once and only once.
+#[test]
+fn latch_trip_reported_exactly_once() {
+    loom::model(|| {
+        let l = Arc::new(CountLatch::new());
+        l.increment();
+        l.increment();
+        let l2 = Arc::clone(&l);
+        let t = loom::thread::spawn(move || l2.decrement() as usize);
+        let mine = l.decrement() as usize;
+        let theirs = t.join().unwrap();
+        assert_eq!(mine + theirs, 1, "exactly one decrement reports the trip");
+        assert!(l.is_quiescent());
+    });
+}
+
+/// Host for a root job that spawns nothing (the model executes the
+/// wrapped job directly on a model thread).
+struct NullHost;
+
+impl SpawnHost for NullHost {
+    fn spawn_job(&self, _job: Job) {
+        unreachable!("model root spawns nothing");
+    }
+    fn num_threads(&self) -> usize {
+        1
+    }
+    fn worker_index(&self) -> Option<usize> {
+        Some(0)
+    }
+}
+
+/// The full handshake on the real instance machinery: a worker thread
+/// finishes the instance's last job (hook releases the admission slot,
+/// then the done flag is set) while the submitter polls. Any interleaving
+/// where the submitter observes `is_done` must already see the slot
+/// released — the service's invariant that completion implies a free slot.
+#[test]
+fn done_observation_implies_slot_released() {
+    loom::model(|| {
+        let gate = Arc::new(AdmissionGate::new(1));
+        gate.try_acquire().expect("admit the instance");
+        let g2 = Arc::clone(&gate);
+        let (job, handle) = instance_root(Box::new(|_s| {}), Some(Box::new(move || g2.release())));
+        let worker = loom::thread::spawn(move || {
+            let host = NullHost;
+            let scope = Scope::for_host(&host);
+            job(&scope);
+        });
+        if handle.is_done() {
+            assert_eq!(
+                gate.in_flight(),
+                0,
+                "done observed before the quiesce hook released the slot"
+            );
+        }
+        worker.join().unwrap();
+        assert!(handle.is_done());
+        assert_eq!(gate.in_flight(), 0);
+        let stats = handle.stats();
+        assert_eq!(stats.jobs_spawned, 1);
+        assert_eq!(stats.jobs_executed, 1);
+        assert_eq!(stats.panics, 0);
+    });
+}
