@@ -18,31 +18,14 @@ use ft_bench::report::fmt_pct;
 use ft_bench::snapshot::{bench_app, bench_grid};
 use ft_bench::AppKind;
 use ft_steal::pool::{Pool, PoolConfig};
-use std::io::Write;
 
 fn main() {
-    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
-    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 2);
-    let mut out = String::from("BENCH_PR2.json");
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads T")
-            }
-            "--out" => out = args.next().expect("--out PATH"),
-            other => {
-                eprintln!(
-                    "unknown arg {other}; usage: bench_pr2 [--reps N] [--threads T] [--out PATH]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = ft_bench::meta::parse_args(
+        "bench_pr2 [--reps N] [--threads T] [--out PATH]",
+        2,
+        "BENCH_PR2.json",
+    );
+    let (reps, threads) = (cli.reps, cli.threads);
 
     let pool = Pool::new(PoolConfig::with_threads(threads));
     let results = vec![
@@ -66,16 +49,9 @@ fn main() {
 
     let rows: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench_pr2/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
-         \"benches\": [\n{}\n  ]\n}}\n",
-        ft_bench::meta::git_rev(),
-        threads,
-        reps,
-        ft_bench::meta::POOL_REUSE,
+        "{{\n{},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        ft_bench::meta::json_header("bench_pr2/v1", threads, reps),
         rows.join(",\n")
     );
-    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
-    f.write_all(json.as_bytes()).expect("write json");
-    println!("wrote {out}");
+    ft_bench::meta::write_snapshot(&cli.out, &json);
 }

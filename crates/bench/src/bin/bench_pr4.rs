@@ -34,7 +34,6 @@ use ft_steal::pool::{Pool, PoolConfig};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::hint::black_box;
-use std::io::Write;
 
 /// Keys resident in each map during the read microbench.
 const MAP_KEYS: i64 = 8192;
@@ -157,33 +156,12 @@ fn micro_injector_cycle(reps: usize) -> MicroResult {
 }
 
 fn main() {
-    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
-    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 2);
-    let mut out = String::from("BENCH_PR4.json");
-    let mut check = false;
-    let mut reference: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads T")
-            }
-            "--out" => out = args.next().expect("--out PATH"),
-            "--check" => check = true,
-            "--ref" => reference = Some(args.next().expect("--ref PATH")),
-            other => {
-                eprintln!(
-                    "unknown arg {other}; usage: bench_pr4 [--reps N] [--threads T] \
-                     [--out PATH] [--check --ref BENCH_PR2.json]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = ft_bench::meta::parse_args(
+        "bench_pr4 [--reps N] [--threads T] [--out PATH] [--check --ref BENCH_PR2.json]",
+        2,
+        "BENCH_PR4.json",
+    );
+    let (reps, threads) = (cli.reps, cli.threads);
 
     // Microbench reps are near-free (sub-ms each) and the min-of-reps
     // statistic sharpens with more samples, so give them a floor.
@@ -223,22 +201,14 @@ fn main() {
     let micro_rows: Vec<String> = micros.iter().map(|m| m.to_json()).collect();
     let rows: Vec<String> = results.iter().map(|r| r.to_json()).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench_pr4/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
-         \"micro\": {{\n{}\n  }},\n  \
-         \"benches\": [\n{}\n  ]\n}}\n",
-        ft_bench::meta::git_rev(),
-        threads,
-        reps,
-        ft_bench::meta::POOL_REUSE,
+        "{{\n{},\n  \"micro\": {{\n{}\n  }},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        ft_bench::meta::json_header("bench_pr4/v1", threads, reps),
         micro_rows.join(",\n"),
         rows.join(",\n")
     );
-    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
-    f.write_all(json.as_bytes()).expect("write json");
-    println!("wrote {out}");
+    ft_bench::meta::write_snapshot(&cli.out, &json);
 
-    if !check {
+    if !cli.check {
         return;
     }
 
@@ -258,7 +228,7 @@ fn main() {
             inj.speedup()
         ));
     }
-    if let Some(path) = reference {
+    if let Some(path) = cli.reference {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
         let reference_rows = parse_overheads(&text);
         assert!(
@@ -296,11 +266,5 @@ fn main() {
             }
         }
     }
-    if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("CHECK FAILED: {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all checks passed");
+    ft_bench::meta::exit_gate(&failures);
 }

@@ -48,7 +48,6 @@ use nabbit_ft::deadline::DeadlineMonitor;
 use nabbit_ft::inject::{FaultPlan, Phase};
 use nabbit_ft::scheduler::{FtScheduler, SchedOpts};
 use nabbit_ft::TaskGraph;
-use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -227,42 +226,29 @@ fn parse_reference(text: &str) -> Vec<(f64, f64, f64)> {
 }
 
 fn main() {
-    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
-    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 2);
     let mut faults = 8usize;
     let mut work_unit = 4000u64;
-    let mut out = String::from("BENCH_PR6.json");
-    let mut check = false;
-    let mut reference: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads T")
-            }
+    let cli = ft_bench::meta::parse_args_with(
+        "bench_pr6 [--reps N] [--threads T] [--faults F] [--work W] [--out PATH] \
+         [--check --ref BENCH_PR6.json]",
+        2,
+        "BENCH_PR6.json",
+        |flag, args| match flag {
             "--faults" => {
                 faults = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--faults F")
+                    .expect("--faults F");
+                true
             }
-            "--work" => work_unit = args.next().and_then(|v| v.parse().ok()).expect("--work W"),
-            "--out" => out = args.next().expect("--out PATH"),
-            "--check" => check = true,
-            "--ref" => reference = Some(args.next().expect("--ref PATH")),
-            other => {
-                eprintln!(
-                    "unknown arg {other}; usage: bench_pr6 [--reps N] [--threads T] \
-                     [--faults F] [--work W] [--out PATH] [--check --ref BENCH_PR6.json]"
-                );
-                std::process::exit(2);
+            "--work" => {
+                work_unit = args.next().and_then(|v| v.parse().ok()).expect("--work W");
+                true
             }
-        }
-    }
+            _ => false,
+        },
+    );
+    let (reps, threads) = (cli.reps, cli.threads);
 
     let pool = Pool::new(PoolConfig::with_threads(threads));
     // Warm the pool (spawn threads, fault in the code paths) off the clock.
@@ -336,23 +322,16 @@ fn main() {
 
     let rows: Vec<String> = sweeps.iter().map(|s| s.to_json()).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench_pr6/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
-         \"faults\": {},\n  \
+        "{{\n{},\n  \"faults\": {},\n  \
          \"work_unit\": {},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
-        ft_bench::meta::git_rev(),
-        threads,
-        reps,
-        ft_bench::meta::POOL_REUSE,
+        ft_bench::meta::json_header("bench_pr6/v1", threads, reps),
         faults,
         work_unit,
         rows.join(",\n")
     );
-    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
-    f.write_all(json.as_bytes()).expect("write json");
-    println!("wrote {out}");
+    ft_bench::meta::write_snapshot(&cli.out, &json);
 
-    if !check {
+    if !cli.check {
         return;
     }
 
@@ -369,7 +348,7 @@ fn main() {
             ));
         }
     }
-    if let Some(path) = reference {
+    if let Some(path) = cli.reference {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
         let reference_rows = parse_reference(&text);
         assert!(!reference_rows.is_empty(), "no sweeps parsed from {path}");
@@ -424,11 +403,5 @@ fn main() {
             println!("check mean miss ratio: Δ {d_miss:+.3} (gate > +{MISS_BAND})");
         }
     }
-    if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("CHECK FAILED: {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all checks passed");
+    ft_bench::meta::exit_gate(&failures);
 }

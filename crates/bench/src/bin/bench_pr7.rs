@@ -48,7 +48,6 @@ use nabbit_ft::fault::Fault;
 use nabbit_ft::graph::{ComputeCtx, Key, TaskGraph};
 use nabbit_ft::scheduler::{FtScheduler, GraphService, ServiceConfig};
 use std::hint::black_box;
-use std::io::Write;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -227,33 +226,12 @@ fn parse_reference_ratio(text: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut reps = ft_bench::meta::env_usize("FT_BENCH_REPS", 5);
-    let mut threads = ft_bench::meta::env_usize("FT_BENCH_THREADS", 4);
-    let mut out = String::from("BENCH_PR7.json");
-    let mut check = false;
-    let mut reference: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--reps" => reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
-            "--threads" => {
-                threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads T")
-            }
-            "--out" => out = args.next().expect("--out PATH"),
-            "--check" => check = true,
-            "--ref" => reference = Some(args.next().expect("--ref PATH")),
-            other => {
-                eprintln!(
-                    "unknown arg {other}; usage: bench_pr7 [--reps N] [--threads T] \
-                     [--out PATH] [--check --ref BENCH_PR7.json]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let cli = ft_bench::meta::parse_args(
+        "bench_pr7 [--reps N] [--threads T] [--out PATH] [--check --ref BENCH_PR7.json]",
+        4,
+        "BENCH_PR7.json",
+    );
+    let (reps, threads) = (cli.reps, cli.threads);
 
     let grid: Arc<dyn TaskGraph> = Arc::new(WorkGrid(EmptyGrid { n: GRID_N }));
     let pool = Pool::new(PoolConfig::with_threads(threads));
@@ -329,18 +307,14 @@ fn main() {
 
     let rows: Vec<String> = modes.iter().map(|m| m.to_json()).collect();
     let json = format!(
-        "{{\n  \"schema\": \"bench_pr7/v1\",\n  \"git_rev\": \"{}\",\n  \
-         \"threads\": {},\n  \"reps\": {},\n  \"pool_reuse\": {},\n  \
+        "{{\n{},\n  \
          \"grid_n\": {},\n  \"graphs_per_rep\": {},\n  \"clients\": {},\n  \
          \"in_flight_budget\": {},\n  \
          \"submit_latency_us\": {{\n    \"mean\": {:.2},\n    \"min\": {:.2},\n    \
          \"max\": {:.2},\n    \"samples\": {}\n  }},\n  \
          \"modes\": {{\n{}\n  }},\n  \
          \"service_vs_spinup\": {:.4},\n  \"single_stream_vs_spinup\": {:.4}\n}}\n",
-        ft_bench::meta::git_rev(),
-        threads,
-        reps,
-        ft_bench::meta::POOL_REUSE,
+        ft_bench::meta::json_header("bench_pr7/v1", threads, reps),
         GRID_N,
         GRAPHS,
         CLIENTS,
@@ -353,11 +327,9 @@ fn main() {
         service_ratio,
         single_stream_ratio
     );
-    let mut f = std::fs::File::create(&out).unwrap_or_else(|e| panic!("create {out}: {e}"));
-    f.write_all(json.as_bytes()).expect("write json");
-    println!("wrote {out}");
+    ft_bench::meta::write_snapshot(&cli.out, &json);
 
-    if !check {
+    if !cli.check {
         return;
     }
 
@@ -369,7 +341,7 @@ fn main() {
              spin-up-per-graph baseline — must be >= 1.0x"
         ));
     }
-    if let Some(path) = reference {
+    if let Some(path) = cli.reference {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
         let ref_ratio = parse_reference_ratio(&text)
             .unwrap_or_else(|| panic!("no service_vs_spinup in {path}"));
@@ -385,11 +357,5 @@ fn main() {
             println!("check service_vs_spinup: {service_ratio:.2} vs reference {ref_ratio:.2}");
         }
     }
-    if !failures.is_empty() {
-        for f in &failures {
-            eprintln!("CHECK FAILED: {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all checks passed");
+    ft_bench::meta::exit_gate(&failures);
 }

@@ -1,0 +1,281 @@
+//! `bench_pr8` — thread-sweep scaling snapshot for the zero-allocation
+//! hot path (paper Fig. 7 analog).
+//!
+//! Emits `BENCH_PR8.json`: the three `bench_pr2`/`bench_pr4` workloads
+//! (scheduler-bound empty grid, compute-bound LCS and LU) measured
+//! baseline-vs-FT at **every thread count** of a 1→N sweep on one
+//! resident pool per point, so the snapshot records how task throughput
+//! and the paper's headline no-fault FT overhead move with worker count
+//! after the PR-8 rework (epoch arena descriptors, inline `Job` cells,
+//! inline single-successor chains, recycled steal blocks).
+//!
+//! Usage: `bench_pr8 [--reps N] [--threads T] [--out PATH]
+//! [--check --ref BENCH_PR8.json]`
+//!
+//! `--threads T` is the sweep's upper end; the sweep visits the powers of
+//! two up to and including `T` (default 4 → 1, 2, 4). Thread counts above
+//! the machine's cores still run (oversubscribed) — on a small CI box the
+//! sweep then measures scheduling robustness rather than speedup, and the
+//! gates below are chosen to transfer.
+//!
+//! `--check` gates (exit 1 on failure):
+//! * **throughput floor** — best-of-sweep grid throughput (min-time
+//!   estimator) must be ≥ 2× the committed `BENCH_PR4.json` grid
+//!   reference ([`PR4_GRID_REF_TASKS_PER_S`]), the acceptance line for
+//!   the PR-8 hot-path rework;
+//! * **overhead band** — per workload, every thread count's no-fault FT
+//!   overhead must sit within ±[`BAND_PP`]pp of that workload's sweep
+//!   mean on **both** the mean-based and the min-based estimate (the
+//!   `bench_pr4` two-estimator AND rule: each alone flakes on a noisy
+//!   box, a real regression shifts both);
+//! * against `--ref`, no (workload, threads) row's FT overhead may
+//!   regress more than +[`REF_BAND_PP`]pp on both estimators.
+//!
+//! `FT_BENCH_REPS` / `FT_BENCH_THREADS` override the defaults (CLI flags
+//! override both); resolved values and the git revision land in the JSON.
+
+use ft_apps::AppConfig;
+use ft_bench::report::fmt_pct;
+use ft_bench::snapshot::{bench_app, bench_grid, BenchResult};
+use ft_bench::AppKind;
+use ft_steal::pool::{Pool, PoolConfig};
+
+/// Committed `BENCH_PR4.json` grid reference on this box
+/// (`grid-empty-96x96`, `baseline_tasks_per_s`): the pre-PR8 hot path the
+/// ≥ 2× acceptance gate is measured against.
+const PR4_GRID_REF_TASKS_PER_S: f64 = 702_246.7;
+
+/// Intra-run overhead band (percentage points) around each workload's
+/// sweep-mean FT overhead.
+const BAND_PP: f64 = 5.0;
+
+/// Cross-run regression band against `--ref`, same width as `bench_pr4`'s
+/// reference gate.
+const REF_BAND_PP: f64 = 15.0;
+
+/// One sweep point: every workload measured on a resident pool of
+/// `threads` workers.
+struct SweepPoint {
+    threads: usize,
+    results: Vec<BenchResult>,
+}
+
+impl SweepPoint {
+    /// Grid throughput from best-of-reps time: near-deterministic on a
+    /// loaded box, so the 2× gate compares this estimator.
+    fn grid_tasks_per_s_min(&self) -> f64 {
+        let g = &self.results[0];
+        g.tasks as f64 / g.baseline.min
+    }
+    fn to_json(&self) -> String {
+        let rows: Vec<String> = self.results.iter().map(|r| r.to_json()).collect();
+        // The workload rows are indented for the top-level "benches" array;
+        // re-indent them two levels deeper for the sweep nesting.
+        let rows = rows.join(",\n").replace("\n", "\n    ");
+        format!(
+            "    {{\n      \"threads\": {},\n      \
+             \"grid_tasks_per_s_min_based\": {:.1},\n      \
+             \"benches\": [\n    {}\n      ]\n    }}",
+            self.threads,
+            self.grid_tasks_per_s_min(),
+            rows
+        )
+    }
+}
+
+/// Powers of two from 1 up to and including `max`.
+fn sweep_counts(max: usize) -> Vec<usize> {
+    let mut counts = Vec::new();
+    let mut t = 1usize;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.push(max.max(1));
+    counts
+}
+
+/// Pull `(threads, name, ft_overhead_pct, ft_overhead_min_pct)` rows back
+/// out of a committed `BENCH_PR8.json` (line-oriented no-serde scan, as
+/// in the other snapshot binaries). The top-level header's `"threads"`
+/// field is read too, then overwritten by the first sweep point before
+/// any workload row appears.
+fn parse_reference(text: &str) -> Vec<(usize, String, f64, f64)> {
+    let mut out = Vec::new();
+    let mut threads = 0usize;
+    let mut name: Option<String> = None;
+    let mut ovh: Option<f64> = None;
+    let grab = |line: &str, key: &str| -> Option<String> {
+        line.strip_prefix(key).map(|rest| {
+            rest.trim()
+                .trim_end_matches(',')
+                .trim_matches('"')
+                .to_string()
+        })
+    };
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(v) = grab(t, "\"threads\":") {
+            threads = v.parse().unwrap_or(threads);
+        } else if let Some(v) = grab(t, "\"name\":") {
+            name = Some(v);
+        } else if let Some(v) = grab(t, "\"ft_overhead_pct\":") {
+            ovh = v.parse().ok();
+        } else if let Some(v) = grab(t, "\"ft_overhead_min_pct\":") {
+            if let (Some(n), Some(o), Ok(m)) = (name.take(), ovh.take(), v.parse()) {
+                out.push((threads, n, o, m));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let cli = ft_bench::meta::parse_args(
+        "bench_pr8 [--reps N] [--threads T] [--out PATH] [--check --ref BENCH_PR8.json]",
+        4,
+        "BENCH_PR8.json",
+    );
+    // Sweep points are cheap (tens of ms per rep) and the band gate leans
+    // on the min-of-reps estimator, which only converges once every
+    // configuration has seen enough interference-free reps — give the rep
+    // count a floor, as `bench_pr4` does for its microbenches.
+    let reps = cli.reps.max(15);
+
+    let mut sweep = Vec::new();
+    for threads in sweep_counts(cli.threads) {
+        let pool = Pool::new(PoolConfig::with_threads(threads));
+        // Warm this pool off the clock: thread spawn, code pages, the
+        // injector block cache and the workers' deque rings.
+        bench_grid(&pool, 96, 1);
+        let results = vec![
+            bench_grid(&pool, 96, reps),
+            bench_app(&pool, AppKind::Lcs, AppConfig::new(2048, 64), reps),
+            bench_app(&pool, AppKind::Lu, AppConfig::new(512, 32), reps),
+        ];
+        for r in &results {
+            println!(
+                "t={threads} {:<18} tasks={:<6} baseline {:.4}s±{:.4}  ft {:.4}s±{:.4}  \
+                 overhead {} (min-based {})",
+                r.name,
+                r.tasks,
+                r.baseline.mean,
+                r.baseline.std,
+                r.ft.mean,
+                r.ft.std,
+                fmt_pct(r.overhead_pct()),
+                fmt_pct(r.overhead_min_pct()),
+            );
+        }
+        sweep.push(SweepPoint { threads, results });
+    }
+    let best_grid = sweep
+        .iter()
+        .map(|p| p.grid_tasks_per_s_min())
+        .fold(0.0f64, f64::max);
+    println!(
+        "best grid throughput {best_grid:.0} tasks/s (min-based) — {:.2}x the \
+         BENCH_PR4 reference {PR4_GRID_REF_TASKS_PER_S:.0}",
+        best_grid / PR4_GRID_REF_TASKS_PER_S
+    );
+
+    let rows: Vec<String> = sweep.iter().map(|p| p.to_json()).collect();
+    let json = format!(
+        "{{\n{},\n  \"pr4_grid_ref_tasks_per_s\": {:.1},\n  \
+         \"best_grid_tasks_per_s_min_based\": {:.1},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        ft_bench::meta::json_header("bench_pr8/v1", cli.threads, reps),
+        PR4_GRID_REF_TASKS_PER_S,
+        best_grid,
+        rows.join(",\n")
+    );
+    ft_bench::meta::write_snapshot(&cli.out, &json);
+
+    if !cli.check {
+        return;
+    }
+
+    // --- Gate ------------------------------------------------------------
+    let mut failures = Vec::new();
+    if best_grid < 2.0 * PR4_GRID_REF_TASKS_PER_S {
+        failures.push(format!(
+            "best-of-sweep grid throughput {best_grid:.0} tasks/s is below 2x the \
+             BENCH_PR4 reference {PR4_GRID_REF_TASKS_PER_S:.0}"
+        ));
+    }
+
+    // Overhead band: each workload's per-thread-count FT overhead vs its
+    // own sweep mean, two-estimator AND rule.
+    for wi in 0..sweep[0].results.len() {
+        let name = &sweep[0].results[wi].name;
+        let mean = |f: &dyn Fn(&BenchResult) -> f64| {
+            sweep.iter().map(|p| f(&p.results[wi])).sum::<f64>() / sweep.len() as f64
+        };
+        let mean_ovh = mean(&|r| r.overhead_pct());
+        let mean_ovh_min = mean(&|r| r.overhead_min_pct());
+        for p in &sweep {
+            let r = &p.results[wi];
+            let d_mean = r.overhead_pct() - mean_ovh;
+            let d_min = r.overhead_min_pct() - mean_ovh_min;
+            // Both estimators out of band *in the same direction*: a real
+            // overhead shift moves mean and min together; opposite-sign
+            // excursions are interference noise on one side of a pairing.
+            if d_mean.abs() > BAND_PP && d_min.abs() > BAND_PP && d_mean * d_min > 0.0 {
+                failures.push(format!(
+                    "{name} at {} threads: ft overhead {:.2}% (mean) / {:.2}% (min) \
+                     deviates from the sweep means {mean_ovh:.2}% / {mean_ovh_min:.2}% \
+                     by more than ±{BAND_PP}pp on both estimators",
+                    p.threads,
+                    r.overhead_pct(),
+                    r.overhead_min_pct()
+                ));
+            } else {
+                println!(
+                    "check {name} t={}: Δ mean {d_mean:+.2}pp / min {d_min:+.2}pp \
+                     (band ±{BAND_PP}pp, both must exceed)",
+                    p.threads
+                );
+            }
+        }
+    }
+
+    if let Some(path) = cli.reference {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let reference_rows = parse_reference(&text);
+        assert!(
+            !reference_rows.is_empty(),
+            "no sweep rows parsed from {path}"
+        );
+        for (ref_threads, ref_name, ref_ovh, ref_ovh_min) in &reference_rows {
+            let row = sweep
+                .iter()
+                .filter(|p| p.threads == *ref_threads)
+                .flat_map(|p| p.results.iter())
+                .find(|r| r.name == *ref_name);
+            let Some(r) = row else {
+                failures.push(format!(
+                    "reference row {ref_name} at {ref_threads} threads missing from this run"
+                ));
+                continue;
+            };
+            // One-sided, like bench_pr4: dropping below the reference is
+            // an improvement; both estimators must regress to fail.
+            let d_mean = r.overhead_pct() - ref_ovh;
+            let d_min = r.overhead_min_pct() - ref_ovh_min;
+            if d_mean > REF_BAND_PP && d_min > REF_BAND_PP {
+                failures.push(format!(
+                    "{ref_name} at {ref_threads} threads: ft overhead {:.2}% (mean) / \
+                     {:.2}% (min) vs reference {ref_ovh:.2}% / {ref_ovh_min:.2}% — \
+                     both estimators exceed +{REF_BAND_PP}pp",
+                    r.overhead_pct(),
+                    r.overhead_min_pct()
+                ));
+            } else {
+                println!(
+                    "check {ref_name} t={ref_threads} vs ref: Δ mean {d_mean:+.2}pp / \
+                     min {d_min:+.2}pp (gate: both > +{REF_BAND_PP}pp)"
+                );
+            }
+        }
+    }
+    ft_bench::meta::exit_gate(&failures);
+}

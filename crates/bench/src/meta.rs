@@ -25,6 +25,93 @@ pub fn env_usize(name: &str, default: usize) -> usize {
     }
 }
 
+/// Parsed command line shared by every `bench_pr*` snapshot binary:
+/// `default → FT_BENCH_REPS / FT_BENCH_THREADS → flag` resolution for the
+/// rep/thread knobs, the output path, and the `--check --ref PATH` gate
+/// switches. Binaries without a gate simply never read `check`/`reference`.
+pub struct SnapshotCli {
+    pub reps: usize,
+    pub threads: usize,
+    pub out: String,
+    pub check: bool,
+    pub reference: Option<String>,
+}
+
+/// Parse the standard snapshot flags (`--reps --threads --out --check
+/// --ref`); any other flag prints `usage` and exits 2.
+pub fn parse_args(usage: &str, default_threads: usize, default_out: &str) -> SnapshotCli {
+    parse_args_with(usage, default_threads, default_out, |_, _| false)
+}
+
+/// [`parse_args`] with binary-specific flags: `extra` is offered every
+/// unrecognized flag together with the argument iterator (to consume a
+/// value) and returns whether it handled it.
+pub fn parse_args_with(
+    usage: &str,
+    default_threads: usize,
+    default_out: &str,
+    mut extra: impl FnMut(&str, &mut dyn Iterator<Item = String>) -> bool,
+) -> SnapshotCli {
+    let mut cli = SnapshotCli {
+        reps: env_usize("FT_BENCH_REPS", 5),
+        threads: env_usize("FT_BENCH_THREADS", default_threads),
+        out: default_out.to_string(),
+        check: false,
+        reference: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => cli.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--threads" => {
+                cli.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads T")
+            }
+            "--out" => cli.out = args.next().expect("--out PATH"),
+            "--check" => cli.check = true,
+            "--ref" => cli.reference = Some(args.next().expect("--ref PATH")),
+            other => {
+                if !extra(other, &mut args) {
+                    eprintln!("unknown arg {other}; usage: {usage}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    cli
+}
+
+/// The JSON header fields every snapshot schema shares, pre-indented for
+/// splicing as the first lines of the emitted object.
+pub fn json_header(schema: &str, threads: usize, reps: usize) -> String {
+    format!(
+        "  \"schema\": \"{schema}\",\n  \"git_rev\": \"{}\",\n  \
+         \"threads\": {threads},\n  \"reps\": {reps},\n  \"pool_reuse\": {}",
+        git_rev(),
+        POOL_REUSE
+    )
+}
+
+/// Write the snapshot JSON and announce the path (the line CI greps for).
+pub fn write_snapshot(out: &str, json: &str) {
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}
+
+/// Finish a `--check` gate: report every failure and exit 1, or confirm
+/// the all-clear.
+pub fn exit_gate(failures: &[String]) {
+    if !failures.is_empty() {
+        for f in failures {
+            eprintln!("CHECK FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}
+
 /// Short git revision of the working tree, or `"unknown"` outside a repo
 /// (e.g. a source tarball). Appends `-dirty` when the tree has
 /// uncommitted changes so a reference JSON can't silently come from

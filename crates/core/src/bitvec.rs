@@ -11,34 +11,64 @@
 //! so the join counter starts at `|in(A)| + 1`; the self bit keeps that
 //! decrement exactly-once too (a reset node re-traverses and re-self-
 //! notifies).
+//!
+//! The first word is stored **inline**: every task with ≤ 63 predecessors
+//! (all the paper's kernels, and any realistic fan-in) pays zero heap
+//! allocations for its bit vector; wider vectors spill the remaining words
+//! into a boxed slice.
 
 use ft_sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-width vector of atomically clearable bits.
 pub struct AtomicBitVec {
-    words: Vec<AtomicU64>,
+    /// Bits 0..=63, stored inline.
+    word0: AtomicU64,
+    /// Words 1.. for vectors wider than 64 bits; empty (no allocation)
+    /// otherwise.
+    spill: Box<[AtomicU64]>,
     len: usize,
+}
+
+/// Value of word `w` with every in-range bit set.
+fn full_mask(len: usize, w: usize) -> u64 {
+    let bits_in_word = if (w + 1) * 64 <= len {
+        64
+    } else {
+        len.saturating_sub(w * 64)
+    };
+    if bits_in_word == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits_in_word) - 1
+    }
 }
 
 impl AtomicBitVec {
     /// Create a vector of `len` bits, all set to 1.
     pub fn new_all_set(len: usize) -> Self {
         let nwords = len.div_ceil(64).max(1);
-        let words: Vec<AtomicU64> = (0..nwords)
-            .map(|w| {
-                let bits_in_word = if (w + 1) * 64 <= len {
-                    64
-                } else {
-                    len.saturating_sub(w * 64)
-                };
-                AtomicU64::new(if bits_in_word == 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << bits_in_word) - 1
-                })
-            })
+        let spill: Box<[AtomicU64]> = (1..nwords)
+            .map(|w| AtomicU64::new(full_mask(len, w)))
             .collect();
-        AtomicBitVec { words, len }
+        AtomicBitVec {
+            word0: AtomicU64::new(full_mask(len, 0)),
+            spill,
+            len,
+        }
+    }
+
+    /// The word holding bit index range `[64w, 64w+63]`.
+    fn word(&self, w: usize) -> &AtomicU64 {
+        if w == 0 {
+            &self.word0
+        } else {
+            &self.spill[w - 1]
+        }
+    }
+
+    /// Number of words (inline + spill).
+    fn nwords(&self) -> usize {
+        1 + self.spill.len()
     }
 
     /// Number of bits.
@@ -56,38 +86,28 @@ impl AtomicBitVec {
     pub fn unset(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % 64);
-        let prev = self.words[i / 64].fetch_and(!mask, Ordering::AcqRel);
+        let prev = self.word(i / 64).fetch_and(!mask, Ordering::AcqRel);
         prev & mask != 0
     }
 
     /// Read bit `i` (used by `ReinitNotifyEntry`: "if S.bitVector[ind]==1").
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
-        self.words[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
+        self.word(i / 64).load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
     }
 
     /// `SetAllBits`: restore every bit to 1 (used by `ResetNode`).
     pub fn set_all(&self) {
-        for (w, word) in self.words.iter().enumerate() {
-            let bits_in_word = if (w + 1) * 64 <= self.len {
-                64
-            } else {
-                self.len.saturating_sub(w * 64)
-            };
-            let v = if bits_in_word == 64 {
-                u64::MAX
-            } else {
-                (1u64 << bits_in_word) - 1
-            };
-            word.store(v, Ordering::Release);
+        for w in 0..self.nwords() {
+            self.word(w)
+                .store(full_mask(self.len, w), Ordering::Release);
         }
     }
 
     /// Number of set bits (diagnostics).
     pub fn count_set(&self) -> usize {
-        self.words
-            .iter()
-            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+        (0..self.nwords())
+            .map(|w| self.word(w).load(Ordering::Acquire).count_ones() as usize)
             .sum()
     }
 }
@@ -109,6 +129,14 @@ mod tests {
                 assert!(v.get(i), "bit {i} of {len}");
             }
         }
+    }
+
+    #[test]
+    fn narrow_vectors_do_not_spill() {
+        for len in [0, 1, 63, 64] {
+            assert!(AtomicBitVec::new_all_set(len).spill.is_empty(), "len={len}");
+        }
+        assert_eq!(AtomicBitVec::new_all_set(65).spill.len(), 1);
     }
 
     #[test]

@@ -58,6 +58,18 @@ pub trait TaskGraph: Send + Sync {
     /// Ordered list of immediate predecessors of `key`.
     fn predecessors(&self, key: Key) -> Vec<Key>;
 
+    /// Write the ordered predecessors of `key` into `out` (cleared first).
+    ///
+    /// The schedulers call this on their descriptor-creation hot path with
+    /// a reused scratch buffer, so a graph that overrides it to push
+    /// directly into `out` pays **zero** allocations per descriptor; the
+    /// default falls back to [`TaskGraph::predecessors`] and inherits its
+    /// one `Vec` per call.
+    fn predecessors_into(&self, key: Key, out: &mut Vec<Key>) {
+        out.clear();
+        out.extend(self.predecessors(key));
+    }
+
     /// Ordered list of immediate successors of `key`. Only consulted by the
     /// recovery path (`RecoverTask` walks successors to rebuild the notify
     /// array) and by graph analysis.
@@ -118,6 +130,9 @@ mod tests {
         assert_eq!(g.sink(), 2);
         assert_eq!(g.predecessors(2), vec![1]);
         assert_eq!(g.successors(0), vec![1]);
+        let mut scratch = vec![99, 98];
+        g.predecessors_into(2, &mut scratch);
+        assert_eq!(scratch, vec![1], "default predecessors_into clears out");
         assert!(g.source_hint().is_none());
         g.poison_outputs(0); // default no-op
     }

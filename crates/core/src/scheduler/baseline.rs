@@ -18,6 +18,7 @@ use crate::graph::{Key, TaskGraph};
 use crate::inject::Phase;
 use crate::task::{BaseDesc, Status};
 use crate::trace::Event;
+use ft_steal::arena::ArenaRef;
 use ft_steal::pool::Scope;
 use std::convert::Infallible;
 use std::sync::Arc;
@@ -29,8 +30,9 @@ impl FtPolicy for NoFt {
     type Desc = BaseDesc;
     type Err = Infallible;
 
-    fn make_desc(&self, graph: &dyn TaskGraph, key: Key) -> BaseDesc {
-        BaseDesc::new(key, graph.predecessors(key))
+    fn make_desc(&self, graph: &dyn TaskGraph, key: Key, scratch: &mut Vec<Key>) -> BaseDesc {
+        graph.predecessors_into(key, scratch);
+        BaseDesc::new(key, scratch)
     }
 
     #[inline]
@@ -100,7 +102,7 @@ impl FtPolicy for NoFt {
     fn on_compute_fault(
         _engine: &Arc<Engine<Self>>,
         _s: &Scope<'_>,
-        _a: Arc<BaseDesc>,
+        _a: ArenaRef<BaseDesc>,
         _key: Key,
         _life: u64,
         f: Infallible,

@@ -32,19 +32,35 @@
 //! the executor for the current worker index at every step and hands it to
 //! the policy, so trace shards and sharded metrics lanes are selected by
 //! worker identity instead of contending cross-worker.
+//!
+//! # Allocation discipline (PR 8)
+//!
+//! The traversal hot path is allocation-free. Descriptors live in an
+//! [`Arena`] owned by the engine — one epoch, one slab set — and travel as
+//! `Copy` [`ArenaRef`] handles instead of `Arc`s; every job the engine
+//! spawns captures ≤ 48 bytes, so the [`ft_steal::Job`] cell stores it
+//! inline; predecessor lists are built through a per-thread scratch buffer
+//! ([`TaskGraph::predecessors_into`]); and single-ready-successor chains
+//! execute **inline** via continuation passing ([`MAX_INLINE_CHAIN`])
+//! instead of a queue round-trip per task. Handle validity is epoch-scoped:
+//! every job carries an `Arc<Engine>`, so the arena outlives every handle,
+//! and reclamation happens when the epoch's last reference drops — after
+//! quiesce (see `docs/ALGORITHM.md`, "Arena allocation & inline chains").
 
 use crate::deadline::DeadlineMonitor;
 use crate::fault::Fault;
 use crate::graph::{ComputeCtx, Key, TaskGraph};
 use crate::inject::Phase;
 use crate::metrics::{RunMetrics, RunReport};
-use crate::task::Status;
+use crate::task::{NotifyList, Status};
 use crate::trace::Event;
 use ft_cmap::ShardedMap;
+use ft_steal::arena::{Arena, ArenaRef};
 use ft_steal::pool::{Executor, Scope};
-use ft_steal::Priority;
+use ft_steal::{Job, Priority};
 use ft_sync::atomic::{AtomicI64, Ordering};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,6 +68,30 @@ use std::time::Instant;
 /// notify, or compute it. Typically derived from a DAG analysis (hard
 /// tasks and their ancestors are [`Priority::High`]).
 pub type PriorityFn = Arc<dyn Fn(Key) -> Priority + Send + Sync>;
+
+/// Maximum tasks executed back-to-back by one job through the inline
+/// single-successor chain before the continuation is re-enqueued.
+///
+/// Chaining never *hides* parallel work — every ready successor beyond the
+/// chain candidate is spawned normally — but an unbounded chain would keep
+/// one worker from touching its own deque indefinitely; re-enqueueing
+/// every `MAX_INLINE_CHAIN` tasks gives the scheduler (and a `DetPool`
+/// campaign's seeded schedule) a periodic interleaving point.
+pub const MAX_INLINE_CHAIN: usize = 64;
+
+thread_local! {
+    /// Scratch buffer for predecessor lists: reused across every
+    /// descriptor the thread creates, so `make_desc` allocates nothing
+    /// once warm (graphs that override `predecessors_into` fill it
+    /// in place).
+    static PRED_SCRATCH: RefCell<Vec<Key>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the thread's predecessor scratch buffer (shared with the
+/// recovery path's `ReplaceTask`).
+pub(super) fn with_pred_scratch<R>(f: impl FnOnce(&mut Vec<Key>) -> R) -> R {
+    PRED_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
 
 /// Optional scheduling behaviors threaded through the engine, orthogonal
 /// to the fault-tolerance policy.
@@ -93,7 +133,7 @@ pub trait Descriptor: Send + Sync + 'static {
     /// Join counter (`|preds| + 1`; the +1 is the self-notification).
     fn join(&self) -> &AtomicI64;
     /// Successors enqueued to be notified when this task computes.
-    fn notify(&self) -> &Mutex<Vec<Key>>;
+    fn notify(&self) -> &Mutex<NotifyList>;
     /// Store a new status.
     fn set_status(&self, s: Status);
 }
@@ -115,7 +155,9 @@ pub trait FtPolicy: Send + Sync + Sized + 'static {
     type Err;
 
     /// Build the first (life-1) incarnation of `key`'s descriptor.
-    fn make_desc(&self, graph: &dyn TaskGraph, key: Key) -> Self::Desc;
+    /// `scratch` is a reusable buffer for the predecessor list (filled via
+    /// [`TaskGraph::predecessors_into`]).
+    fn make_desc(&self, graph: &dyn TaskGraph, key: Key, scratch: &mut Vec<Key>) -> Self::Desc;
 
     /// Record a trace event (no-op unless the policy carries a trace).
     fn emit(&self, worker: Option<usize>, event: Event);
@@ -143,8 +185,17 @@ pub trait FtPolicy: Send + Sync + Sized + 'static {
     ) -> Result<bool, Self::Err>;
 
     /// Whether a negative join counter is tolerated (only under the
-    /// FT policy's mutation-testing sabotage switch).
+    /// FT policy's mutation-testing sabotage switches).
     fn join_underflow_ok(&self) -> bool;
+
+    /// Mutation-test switch: when true, the inline-chain notify path
+    /// skips [`FtPolicy::consume_notification`] and decrements the join
+    /// counter unconditionally — a deliberately broken inline shortcut
+    /// (exactly the bug a careless chain implementation would have) that
+    /// the G1–G6 trace oracle must flag. Default: off, i.e. correct.
+    fn sabotage_chain(&self) -> bool {
+        false
+    }
 
     /// Whether this incarnation was created by `RecoverTask` (threaded
     /// into [`ComputeCtx`] so apps can distinguish recovery executions).
@@ -168,7 +219,7 @@ pub trait FtPolicy: Send + Sync + Sized + 'static {
     fn on_compute_fault(
         engine: &Arc<Engine<Self>>,
         s: &Scope<'_>,
-        a: Arc<Self::Desc>,
+        a: ArenaRef<Self::Desc>,
         key: Key,
         life: u64,
         f: Self::Err,
@@ -179,11 +230,17 @@ pub trait FtPolicy: Send + Sync + Sized + 'static {
 ///
 /// Use the two instantiations: [`BaselineScheduler`](super::BaselineScheduler)
 /// (`Engine<NoFt>`) and [`FtScheduler`](super::FtScheduler)
-/// (`Engine<FtRecovery>`). One engine instance = one run.
+/// (`Engine<FtRecovery>`). One engine instance = one run (one epoch: the
+/// engine owns the arena every descriptor of the run lives in).
 pub struct Engine<P: FtPolicy> {
     pub(super) graph: Arc<dyn TaskGraph>,
-    /// The task map: key → current incarnation.
-    pub(super) map: ShardedMap<Arc<P::Desc>>,
+    /// The task map: key → current incarnation (arena handle).
+    pub(super) map: ShardedMap<ArenaRef<P::Desc>>,
+    /// Epoch slab: every descriptor incarnation of this run, reclaimed en
+    /// masse when the engine (epoch) drops. Declared after `map` so the
+    /// handles stored there are dropped first (they are `Copy`, nothing
+    /// dangles either way).
+    pub(super) arena: Arena<P::Desc>,
     pub(super) metrics: RunMetrics,
     pub(super) policy: P,
     pub(super) opts: SchedOpts,
@@ -204,6 +261,7 @@ impl<P: FtPolicy> Engine<P> {
         Arc::new(Engine {
             graph,
             map: ShardedMap::new(),
+            arena: Arena::new(),
             metrics: RunMetrics::new(),
             policy,
             opts,
@@ -237,7 +295,7 @@ impl<P: FtPolicy> Engine<P> {
         let (sd, life) = self.get_task(sink).expect("sink just inserted");
         let this = Arc::clone(self);
         let prio = self.prio_of(sink);
-        exec.execute_job(Box::new(move |scope: &Scope<'_>| {
+        exec.execute_job(Job::new(move |scope: &Scope<'_>| {
             scope.spawn_with(prio, move |s| this.init_and_compute(s, sd, sink, life));
         }));
         self.finish_report(start)
@@ -268,10 +326,26 @@ impl<P: FtPolicy> Engine<P> {
         self.graph.as_ref()
     }
 
+    /// Whether `d` was allocated by this engine's epoch arena (per-epoch
+    /// isolation diagnostics; see the service-layer tests).
+    pub fn owns_desc(&self, d: ArenaRef<P::Desc>) -> bool {
+        self.arena.owns(d.as_ptr())
+    }
+
+    /// Current incarnation handle for `key`, if the task was ever
+    /// inserted (per-epoch isolation diagnostics; pair with
+    /// [`Engine::owns_desc`]).
+    pub fn desc_handle(&self, key: Key) -> Option<ArenaRef<P::Desc>> {
+        self.map.get(key)
+    }
+
     /// `InsertTaskIfAbsent`.
     pub(super) fn insert_if_absent(&self, key: Key, worker: Option<usize>) -> bool {
         let inserted = self.map.insert_if_absent(key, || {
-            Arc::new(self.policy.make_desc(self.graph.as_ref(), key))
+            with_pred_scratch(|scratch| {
+                self.arena
+                    .alloc(self.policy.make_desc(self.graph.as_ref(), key, scratch))
+            })
         });
         if inserted {
             self.policy.emit(worker, Event::Inserted { key });
@@ -280,7 +354,7 @@ impl<P: FtPolicy> Engine<P> {
     }
 
     /// `GetTask`: current incarnation and its life number.
-    pub(super) fn get_task(&self, key: Key) -> Option<(Arc<P::Desc>, u64)> {
+    pub(super) fn get_task(&self, key: Key) -> Option<(ArenaRef<P::Desc>, u64)> {
         self.map.get(key).map(|d| {
             let life = d.life();
             (d, life)
@@ -292,7 +366,7 @@ impl<P: FtPolicy> Engine<P> {
     pub(super) fn init_and_compute(
         self: &Arc<Self>,
         s: &Scope<'_>,
-        a: Arc<P::Desc>,
+        a: ArenaRef<P::Desc>,
         key: Key,
         life: u64,
     ) {
@@ -300,11 +374,10 @@ impl<P: FtPolicy> Engine<P> {
         // allocates nothing per traversal.
         for &pkey in a.preds() {
             let this = Arc::clone(self);
-            let a2 = Arc::clone(&a);
             // Priority of the *target* (the predecessor being traversed):
             // hard tasks and their ancestors traverse ahead of soft work.
             s.spawn_with(self.prio_of(pkey), move |s| {
-                this.try_init_compute(s, a2, key, life, pkey)
+                this.try_init_compute(s, a, key, life, pkey)
             });
         }
         // Section VI "before compute" injection point: the task "has
@@ -319,7 +392,7 @@ impl<P: FtPolicy> Engine<P> {
     pub(super) fn try_init_compute(
         self: &Arc<Self>,
         s: &Scope<'_>,
-        a: Arc<P::Desc>,
+        a: ArenaRef<P::Desc>,
         key: Key,
         life: u64,
         pkey: Key,
@@ -331,9 +404,8 @@ impl<P: FtPolicy> Engine<P> {
         };
         if inserted {
             let this = Arc::clone(self);
-            let b2 = Arc::clone(&b);
             s.spawn_with(self.prio_of(pkey), move |s| {
-                this.init_and_compute(s, b2, pkey, blife)
+                this.init_and_compute(s, b, pkey, blife)
             });
         }
 
@@ -365,16 +437,18 @@ impl<P: FtPolicy> Engine<P> {
         }
     }
 
-    /// `NotifyOnce(A, key, pkey, life)`: decrement the join counter (if the
-    /// policy's gate consumes the notification); execute A at zero.
-    pub(super) fn notify_once(
+    /// The gate of `NotifyOnce(A, key, pkey, life)`: consume the
+    /// notification and decrement the join counter. Returns `true` iff the
+    /// counter hit zero — the caller owns A's compute. Guard faults are
+    /// handled here (`RecoverTaskOnce`), reported as not-ready.
+    fn notify_gate(
         self: &Arc<Self>,
         s: &Scope<'_>,
-        a: Arc<P::Desc>,
+        a: ArenaRef<P::Desc>,
         key: Key,
         pkey: Key,
         life: u64,
-    ) {
+    ) -> bool {
         let worker = s.worker_index();
         let attempt: Result<bool, P::Err> = (|| {
             P::check(&a)?;
@@ -399,31 +473,63 @@ impl<P: FtPolicy> Engine<P> {
         })();
 
         match attempt {
-            Ok(true) => self.compute_and_notify(s, a, key, life),
-            Ok(false) => {}
-            Err(f) => P::on_guard_fault(self, s, f, key, life),
+            Ok(ready) => ready,
+            Err(f) => {
+                P::on_guard_fault(self, s, f, key, life);
+                false
+            }
         }
     }
 
-    /// `NotifySuccessor(key, skey)`.
-    pub(super) fn notify_successor(self: &Arc<Self>, s: &Scope<'_>, key: Key, skey: Key) {
-        let Some((sd, slife)) = self.get_task(skey) else {
-            debug_assert!(false, "successor {skey} vanished from the task map");
-            return;
-        };
-        self.notify_once(s, sd, skey, key, slife);
+    /// `NotifyOnce(A, key, pkey, life)`: decrement the join counter (if the
+    /// policy's gate consumes the notification); execute A at zero.
+    pub(super) fn notify_once(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: ArenaRef<P::Desc>,
+        key: Key,
+        pkey: Key,
+        life: u64,
+    ) {
+        if self.notify_gate(s, a, key, pkey, life) {
+            self.compute_and_notify(s, a, key, life);
+        }
     }
 
-    /// `ComputeAndNotify(A, key, life)`: run the user compute, transition
-    /// to Computed, drain the notify array, transition to Completed.
+    /// `ComputeAndNotify(A, key, life)`, chained: run the user compute,
+    /// transition to Computed, drain the notify array, transition to
+    /// Completed — then, if draining left exactly one ready successor in
+    /// this job's hands, continue with it **inline** instead of paying a
+    /// queue round-trip (continuation passing, bounded by
+    /// [`MAX_INLINE_CHAIN`]).
     pub(super) fn compute_and_notify(
         self: &Arc<Self>,
         s: &Scope<'_>,
-        a: Arc<P::Desc>,
+        a: ArenaRef<P::Desc>,
         key: Key,
         life: u64,
     ) {
+        let mut cur = Some((a, key, life));
+        let mut depth = 0usize;
+        while let Some((a, key, life)) = cur.take() {
+            cur = self.compute_and_notify_step(s, a, key, life, depth);
+            depth += 1;
+        }
+    }
+
+    /// One link of the chain: compute + notify one task, returning the
+    /// chain continuation (a successor made ready by this task's
+    /// notifications) if there is one.
+    fn compute_and_notify_step(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: ArenaRef<P::Desc>,
+        key: Key,
+        life: u64,
+        depth: usize,
+    ) -> Option<(ArenaRef<P::Desc>, Key, u64)> {
         let worker = s.worker_index();
+        let mut chain: Option<(ArenaRef<P::Desc>, Key, u64)> = None;
         let attempt: Result<(), P::Err> = (|| {
             P::check(&a)?;
             let ctx = ComputeCtx::new(life, P::is_recovery_exec(&a), worker);
@@ -444,20 +550,22 @@ impl<P: FtPolicy> Engine<P> {
             let mut notified = 0usize;
             loop {
                 P::check(&a)?;
-                let batch: Vec<Key> = {
-                    let g = a.notify().lock();
-                    g[notified..].to_vec()
-                };
-                for &skey in &batch {
-                    let this = Arc::clone(self);
-                    // Notifications toward hard/critical successors jump
-                    // the queue: the notify job runs the successor's
-                    // compute inline when the join counter hits zero.
-                    s.spawn_with(self.prio_of(skey), move |s| {
-                        this.notify_successor(s, key, skey)
-                    });
+                // Drain the notify array by index under short locks — no
+                // batch copy. Registrations racing in are picked up by
+                // the next length probe or the locked re-check below.
+                loop {
+                    let next = {
+                        let g = a.notify().lock();
+                        if notified < g.len() {
+                            Some(g.get(notified))
+                        } else {
+                            None
+                        }
+                    };
+                    let Some(skey) = next else { break };
+                    notified += 1;
+                    self.notify_entry(s, key, skey, depth, &mut chain);
                 }
-                notified += batch.len();
                 let g = a.notify().lock();
                 if g.len() == notified {
                     a.set_status(Status::Completed);
@@ -476,7 +584,73 @@ impl<P: FtPolicy> Engine<P> {
         })();
 
         if let Err(f) = attempt {
+            // The faulted step must not swallow a successor it already made
+            // ready (its notification is consumed — nobody will re-deliver
+            // it): hand the continuation back to the queues, then let
+            // recovery own this task's traversal.
+            if let Some((ca, ckey, clife)) = chain.take() {
+                let this = Arc::clone(self);
+                s.spawn_with(self.prio_of(ckey), move |s| {
+                    this.compute_and_notify(s, ca, ckey, clife)
+                });
+            }
             P::on_compute_fault(self, s, a, key, life, f);
+            return None;
+        }
+        chain
+    }
+
+    /// Deliver one notify-array entry inline — the inline-chain site: the
+    /// gate of `NotifySuccessor`+`NotifyOnce` runs in this job, and a
+    /// successor whose join counter hits zero either becomes the chain
+    /// continuation or is spawned as a fresh `ComputeAndNotify` job.
+    fn notify_entry(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        key: Key,
+        skey: Key,
+        depth: usize,
+        chain: &mut Option<(ArenaRef<P::Desc>, Key, u64)>,
+    ) {
+        let Some((sd, slife)) = self.get_task(skey) else {
+            debug_assert!(false, "successor {skey} vanished from the task map");
+            return;
+        };
+        let ready = if self.policy.sabotage_chain() {
+            // Deliberately broken gate (mutation testing): skips the
+            // policy's exactly-once check and decrements unconditionally.
+            // Under faults, re-delivered notifications then double-
+            // decrement — the G3 violation the trace oracle must flag.
+            self.metrics.notifications.add(s.worker_index());
+            self.policy.emit(
+                s.worker_index(),
+                Event::Notified {
+                    key: skey,
+                    life: slife,
+                    pred: key,
+                },
+            );
+            sd.join().fetch_sub(1, Ordering::AcqRel) - 1 == 0
+        } else {
+            self.notify_gate(s, sd, skey, key, slife)
+        };
+        if !ready {
+            return;
+        }
+        let prio = self.prio_of(skey);
+        // Chain policy: first ready successor continues inline, bounded by
+        // MAX_INLINE_CHAIN; in priority mode only hot targets chain, so an
+        // inlined continuation never runs ahead of queued hot work it
+        // should yield to. Everything else goes through the queues and
+        // stays stealable.
+        let may_chain = depth < MAX_INLINE_CHAIN
+            && chain.is_none()
+            && (self.opts.priority.is_none() || prio == Priority::High);
+        if may_chain {
+            *chain = Some((sd, skey, slife));
+        } else {
+            let this = Arc::clone(self);
+            s.spawn_with(prio, move |s| this.compute_and_notify(s, sd, skey, slife));
         }
     }
 }

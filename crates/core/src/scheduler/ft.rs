@@ -24,6 +24,7 @@ use crate::inject::{FaultPlan, Phase};
 use crate::task::{FtDesc, Status};
 use crate::trace::{Event, Trace};
 use ft_cmap::ShardedMap;
+use ft_steal::arena::ArenaRef;
 use ft_steal::pool::Scope;
 use ft_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -42,6 +43,12 @@ pub struct FtRecovery {
     /// vector exists to prevent. Tests flip it to prove the trace oracle
     /// catches a broken implementation. Never set in production paths.
     pub(super) sabotage_notify: AtomicBool,
+    /// Mutation-testing switch for the PR-8 inline-chain path: when set,
+    /// the engine's in-place successor notification skips
+    /// `consume_notification` entirely — the bug a chain implementation
+    /// that forgot the Guarantee-3 gate would have. Tests flip it to prove
+    /// the oracle flags a broken inline-notify path.
+    pub(super) sabotage_chain: AtomicBool,
 }
 
 impl FtRecovery {
@@ -51,6 +58,7 @@ impl FtRecovery {
             plan,
             trace,
             sabotage_notify: AtomicBool::new(false),
+            sabotage_chain: AtomicBool::new(false),
         }
     }
 }
@@ -59,8 +67,9 @@ impl FtPolicy for FtRecovery {
     type Desc = FtDesc;
     type Err = Fault;
 
-    fn make_desc(&self, graph: &dyn TaskGraph, key: Key) -> FtDesc {
-        FtDesc::new(key, 1, graph.predecessors(key))
+    fn make_desc(&self, graph: &dyn TaskGraph, key: Key, scratch: &mut Vec<Key>) -> FtDesc {
+        graph.predecessors_into(key, scratch);
+        FtDesc::new(key, 1, scratch)
     }
 
     #[inline]
@@ -125,7 +134,12 @@ impl FtPolicy for FtRecovery {
 
     #[inline]
     fn join_underflow_ok(&self) -> bool {
-        self.sabotage_notify.load(Ordering::Relaxed)
+        self.sabotage_notify.load(Ordering::Relaxed) || self.sabotage_chain.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn sabotage_chain(&self) -> bool {
+        self.sabotage_chain.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -168,7 +182,7 @@ impl FtPolicy for FtRecovery {
     fn on_compute_fault(
         engine: &Arc<Engine<Self>>,
         s: &Scope<'_>,
-        a: Arc<FtDesc>,
+        a: ArenaRef<FtDesc>,
         key: Key,
         life: u64,
         f: Fault,
@@ -247,6 +261,18 @@ impl Engine<FtRecovery> {
     #[doc(hidden)]
     pub fn sabotage_notify_bitvec(&self) {
         self.policy.sabotage_notify.store(true, Ordering::Relaxed);
+    }
+
+    /// Break the inline-chain notification gate (mutation testing only).
+    ///
+    /// With this set, the engine's in-place delivery of notify-array
+    /// entries (the PR-8 inline-chain site) bypasses the bit-vector check,
+    /// so re-delivered notifications under faults double-decrement the
+    /// join counter. The trace oracle must flag such a run as a G3
+    /// violation; see `tests/det_campaigns.rs`.
+    #[doc(hidden)]
+    pub fn sabotage_inline_chain(&self) {
+        self.policy.sabotage_chain.store(true, Ordering::Relaxed);
     }
 
     /// Number of entries in the recovery table (≥1 failure observed).

@@ -15,12 +15,13 @@
 //! * `ResetNode` — Guarantee 5 support: a task whose *input* failed resets
 //!   its join counter and bit vector and re-traverses its predecessors.
 
-use super::engine::{Engine, FtPolicy};
+use super::engine::{with_pred_scratch, Engine, FtPolicy};
 use super::ft::FtRecovery;
 use crate::fault::Fault;
 use crate::graph::Key;
 use crate::task::{FtDesc, Status};
 use crate::trace::Event;
+use ft_steal::arena::ArenaRef;
 use ft_steal::pool::Scope;
 use ft_sync::atomic::Ordering;
 use std::sync::Arc;
@@ -56,11 +57,18 @@ impl Engine<FtRecovery> {
 
     /// `ReplaceTask(key)`: atomically swap in a fresh incarnation with
     /// life + 1; returns it with its life number.
-    pub(super) fn replace_task(&self, key: Key) -> (Arc<FtDesc>, u64) {
+    ///
+    /// The replacement descriptor lives in the same epoch arena as the one
+    /// it supersedes; superseded incarnations stay allocated (handles to
+    /// them may still be in flight) and are reclaimed with the epoch.
+    pub(super) fn replace_task(&self, key: Key) -> (ArenaRef<FtDesc>, u64) {
         self.map.update_cas(key, |cur| {
-            let life = cur.map(|d: &Arc<FtDesc>| d.life).unwrap_or(0) + 1;
-            let d = Arc::new(FtDesc::new(key, life, self.graph.predecessors(key)));
-            (Some(Arc::clone(&d)), (d, life))
+            let life = cur.map(|d: &ArenaRef<FtDesc>| d.life).unwrap_or(0) + 1;
+            let d = with_pred_scratch(|scratch| {
+                self.graph.predecessors_into(key, scratch);
+                self.arena.alloc(FtDesc::new(key, life, scratch))
+            });
+            (Some(d), (d, life))
         })
     }
 
@@ -86,7 +94,7 @@ impl Engine<FtRecovery> {
                 // "traverse successors to recreate notify arr."
                 for skey in self.graph.successors(key) {
                     if let Some((sd, slife)) = self.get_task(skey) {
-                        self.reinit_notify_entry(s, &t, key, &sd, skey, slife)?;
+                        self.reinit_notify_entry(s, t, key, sd, skey, slife)?;
                     }
                     // A successor not yet in the map registers itself when
                     // its own traversal reaches the new incarnation.
@@ -97,11 +105,10 @@ impl Engine<FtRecovery> {
             match attempt {
                 Ok(()) => {
                     let this = Arc::clone(self);
-                    let t2 = Arc::clone(&t);
                     // Recovered incarnations keep their key's priority, so
                     // a hard task's recovery also jumps the queue.
                     s.spawn_with(self.prio_of(key), move |s| {
-                        this.init_and_compute(s, t2, key, life)
+                        this.init_and_compute(s, t, key, life)
                     });
                     return;
                 }
@@ -139,9 +146,9 @@ impl Engine<FtRecovery> {
     pub(super) fn reinit_notify_entry(
         self: &Arc<Self>,
         s: &Scope<'_>,
-        t: &Arc<FtDesc>,
+        t: ArenaRef<FtDesc>,
         key: Key,
-        sd: &Arc<FtDesc>,
+        sd: ArenaRef<FtDesc>,
         skey: Key,
         slife: u64,
     ) -> Result<(), Fault> {
@@ -182,7 +189,13 @@ impl Engine<FtRecovery> {
     /// then re-explore predecessors via `InitAndCompute`. The join counter
     /// is restored *before* the bits so a racing notification cannot be
     /// lost (a decrement can only happen after its bit is re-set).
-    pub(super) fn reset_node(self: &Arc<Self>, s: &Scope<'_>, a: Arc<FtDesc>, key: Key, life: u64) {
+    pub(super) fn reset_node(
+        self: &Arc<Self>,
+        s: &Scope<'_>,
+        a: ArenaRef<FtDesc>,
+        key: Key,
+        life: u64,
+    ) {
         self.metrics.resets.fetch_add(1, Ordering::Relaxed);
         self.policy
             .emit(s.worker_index(), Event::Reset { key, life });
@@ -277,7 +290,8 @@ mod tests {
         assert_eq!(d2.try_status().unwrap(), Status::Visited);
         let (cur, l) = sch.get_task(0).unwrap();
         assert_eq!(l, 2);
-        assert!(Arc::ptr_eq(&cur, &d2));
+        assert!(ArenaRef::ptr_eq(cur, d2));
+        assert!(sch.owns_desc(d2), "incarnations live in the epoch arena");
     }
 
     #[test]

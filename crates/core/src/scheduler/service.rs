@@ -194,7 +194,7 @@ impl<'e> GraphService<'e> {
         // All of it runs *inside* the instance scope, so the whole
         // traversal tree lands on this instance's latch.
         let this = Arc::clone(engine);
-        let root: Job = Box::new(move |s: &Scope<'_>| {
+        let root = Job::new(move |s: &Scope<'_>| {
             let sink = this.graph.sink();
             this.insert_if_absent(sink, s.worker_index());
             let Some((sd, life)) = this.get_task(sink) else {

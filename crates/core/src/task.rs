@@ -10,6 +10,13 @@
 //! "baseline version includes no additional data structures or statements
 //! introduced for fault tolerance". The shared traversal engine sees both
 //! through the [`Descriptor`] trait.
+//!
+//! Since PR 8 the descriptors are **allocation-free for typical fan-in**:
+//! the predecessor list ([`PredList`]) and notify array ([`NotifyList`])
+//! store up to [`INLINE_KEYS`] keys inline and only spill wider lists to
+//! the heap, and the bit vector keeps its first word inline. A grid/LCS/LU
+//! task (≤ 2 predecessors, ≤ 2 successors) therefore costs zero heap
+//! allocations beyond its arena slot.
 
 use crate::bitvec::AtomicBitVec;
 use crate::fault::Fault;
@@ -17,6 +24,123 @@ use crate::graph::Key;
 use crate::scheduler::engine::Descriptor;
 use ft_sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
 use parking_lot::Mutex;
+
+/// Keys stored inline by [`PredList`] and [`NotifyList`] before spilling
+/// to the heap. Four covers every regular kernel (grid/LCS/LU/strassen
+/// fan-in ≤ 3) and the bulk of random-DAG nodes.
+pub const INLINE_KEYS: usize = 4;
+
+/// Ordered immediate-predecessor list with inline storage for up to
+/// [`INLINE_KEYS`] keys. Immutable after construction.
+pub struct PredList {
+    len: u32,
+    inline: [Key; INLINE_KEYS],
+    /// Full list when `len > INLINE_KEYS`; empty (no allocation) otherwise.
+    spill: Box<[Key]>,
+}
+
+impl PredList {
+    /// Copy `preds` into a new list.
+    pub fn new(preds: &[Key]) -> Self {
+        let mut inline = [0; INLINE_KEYS];
+        let spill = if preds.len() <= INLINE_KEYS {
+            inline[..preds.len()].copy_from_slice(preds);
+            Box::default()
+        } else {
+            preds.to_vec().into_boxed_slice()
+        };
+        PredList {
+            len: preds.len() as u32,
+            inline,
+            spill,
+        }
+    }
+
+    /// The predecessors, in graph order.
+    pub fn as_slice(&self) -> &[Key] {
+        if self.len as usize <= INLINE_KEYS {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of predecessors.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when there are no predecessors.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for PredList {
+    type Target = [Key];
+    fn deref(&self) -> &[Key] {
+        self.as_slice()
+    }
+}
+
+/// Append-only successor list ("notifyArray") with inline storage for up
+/// to [`INLINE_KEYS`] keys. Guarded by the descriptor's mutex; readers
+/// access entries by index so the engine can drain it incrementally
+/// without copying a batch out.
+pub struct NotifyList {
+    len: u32,
+    inline: [Key; INLINE_KEYS],
+    /// Entries past the inline capacity, in push order.
+    spill: Vec<Key>,
+}
+
+impl NotifyList {
+    /// An empty list (no allocation).
+    pub const fn new() -> Self {
+        NotifyList {
+            len: 0,
+            inline: [0; INLINE_KEYS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append a successor key.
+    pub fn push(&mut self, key: Key) {
+        let i = self.len as usize;
+        if i < INLINE_KEYS {
+            self.inline[i] = key;
+        } else {
+            self.spill.push(key);
+        }
+        self.len += 1;
+    }
+
+    /// Entry `i` (push order). Panics when out of range.
+    pub fn get(&self, i: usize) -> Key {
+        assert!(i < self.len as usize, "notify index {i} out of range");
+        if i < INLINE_KEYS {
+            self.inline[i]
+        } else {
+            self.spill[i - INLINE_KEYS]
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no successor has enqueued itself.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for NotifyList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Execution status of a task ("Visited, Computed, and Completed").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -50,27 +174,26 @@ pub struct BaseDesc {
     /// Task key.
     pub key: Key,
     /// Ordered immediate predecessors (cached at creation; `Init(A)`).
-    /// A boxed slice: the traversal iterates it by reference, never clones.
-    pub preds: Box<[Key]>,
+    pub preds: PredList,
     /// Join counter, initialized to `|preds)| + 1` (the +1 is consumed by
     /// the self-notification at the end of `InitAndCompute`).
     pub join: AtomicI64,
     /// Execution status.
     pub status: AtomicU8,
     /// Successors enqueued to be notified when this task computes.
-    pub notify: Mutex<Vec<Key>>,
+    pub notify: Mutex<NotifyList>,
 }
 
 impl BaseDesc {
     /// Create a descriptor with the given ordered predecessor list.
-    pub fn new(key: Key, preds: Vec<Key>) -> Self {
+    pub fn new(key: Key, preds: &[Key]) -> Self {
         let join = preds.len() as i64 + 1;
         BaseDesc {
             key,
-            preds: preds.into_boxed_slice(),
+            preds: PredList::new(preds),
             join: AtomicI64::new(join),
             status: AtomicU8::new(Status::Visited as u8),
-            notify: Mutex::new(Vec::new()),
+            notify: Mutex::new(NotifyList::new()),
         }
     }
 
@@ -98,7 +221,7 @@ impl Descriptor for BaseDesc {
     fn join(&self) -> &AtomicI64 {
         &self.join
     }
-    fn notify(&self) -> &Mutex<Vec<Key>> {
+    fn notify(&self) -> &Mutex<NotifyList> {
         &self.notify
     }
     fn set_status(&self, s: Status) {
@@ -113,14 +236,14 @@ pub struct FtDesc {
     /// Life number of this incarnation (1 = original; recovery replaces the
     /// map entry with a descriptor of life+1).
     pub life: u64,
-    /// Ordered immediate predecessors (boxed slice, iterated by reference).
-    pub preds: Box<[Key]>,
+    /// Ordered immediate predecessors.
+    pub preds: PredList,
     /// Join counter (`|preds| + 1`, self-notification included).
     pub join: AtomicI64,
     /// Execution status.
     pub status: AtomicU8,
     /// Successors awaiting notification.
-    pub notify: Mutex<Vec<Key>>,
+    pub notify: Mutex<NotifyList>,
     /// Per-predecessor (plus self) notification bits; Guarantee 3.
     pub bits: AtomicBitVec,
     /// True once a detected soft error has corrupted this descriptor.
@@ -137,15 +260,15 @@ impl FtDesc {
     /// Create incarnation `life` of task `key` with the given ordered
     /// predecessor list. Join counter and bit vector cover `preds` plus the
     /// self slot.
-    pub fn new(key: Key, life: u64, preds: Vec<Key>) -> Self {
+    pub fn new(key: Key, life: u64, preds: &[Key]) -> Self {
         let n = preds.len();
         FtDesc {
             key,
             life,
-            preds: preds.into_boxed_slice(),
+            preds: PredList::new(preds),
             join: AtomicI64::new(n as i64 + 1),
             status: AtomicU8::new(Status::Visited as u8),
-            notify: Mutex::new(Vec::new()),
+            notify: Mutex::new(NotifyList::new()),
             bits: AtomicBitVec::new_all_set(n + 1),
             poisoned: AtomicBool::new(false),
             overwritten: AtomicBool::new(false),
@@ -210,7 +333,7 @@ impl Descriptor for FtDesc {
     fn join(&self) -> &AtomicI64 {
         &self.join
     }
-    fn notify(&self) -> &Mutex<Vec<Key>> {
+    fn notify(&self) -> &Mutex<NotifyList> {
         &self.notify
     }
     fn set_status(&self, s: Status) {
@@ -224,7 +347,7 @@ mod tests {
 
     #[test]
     fn base_desc_initial_state() {
-        let d = BaseDesc::new(5, vec![1, 2, 3]);
+        let d = BaseDesc::new(5, &[1, 2, 3]);
         assert_eq!(d.key, 5);
         assert_eq!(d.join.load(Ordering::Relaxed), 4);
         assert_eq!(d.status(), Status::Visited);
@@ -233,13 +356,45 @@ mod tests {
 
     #[test]
     fn ft_desc_initial_state() {
-        let d = FtDesc::new(5, 1, vec![1, 2]);
+        let d = FtDesc::new(5, 1, &[1, 2]);
         assert_eq!(d.life, 1);
         assert_eq!(d.join.load(Ordering::Relaxed), 3);
         assert_eq!(d.bits.len(), 3);
         assert_eq!(d.bits.count_set(), 3);
         assert!(d.check().is_ok());
         assert!(!d.is_recovery.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn pred_list_inline_and_spilled() {
+        let short = PredList::new(&[1, 2, 3, 4]);
+        assert_eq!(short.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(short.len(), 4);
+        let long: Vec<Key> = (0..9).collect();
+        let spilled = PredList::new(&long);
+        assert_eq!(spilled.as_slice(), long.as_slice());
+        assert!(PredList::new(&[]).is_empty());
+    }
+
+    #[test]
+    fn notify_list_inline_and_spilled() {
+        let mut n = NotifyList::new();
+        assert!(n.is_empty());
+        for k in 0..10 {
+            n.push(k);
+        }
+        assert_eq!(n.len(), 10);
+        for k in 0..10 {
+            assert_eq!(n.get(k as usize), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn notify_list_oob_panics() {
+        let mut n = NotifyList::new();
+        n.push(1);
+        n.get(1);
     }
 
     #[test]
@@ -261,7 +416,7 @@ mod tests {
 
     #[test]
     fn ft_corrupt_status_byte_is_a_descriptor_fault() {
-        let d = FtDesc::new(7, 3, vec![1]);
+        let d = FtDesc::new(7, 3, &[1]);
         assert_eq!(d.try_status().unwrap(), Status::Visited);
         d.status.store(0xAB, Ordering::Release);
         let err = d.try_status().unwrap_err();
@@ -272,14 +427,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "corrupt status byte")]
     fn base_corrupt_status_byte_panics() {
-        let d = BaseDesc::new(1, vec![]);
+        let d = BaseDesc::new(1, &[]);
         d.status.store(0xFF, Ordering::Release);
         let _ = d.status();
     }
 
     #[test]
     fn pred_index_including_self() {
-        let d = FtDesc::new(10, 1, vec![7, 8, 9]);
+        let d = FtDesc::new(10, 1, &[7, 8, 9]);
         assert_eq!(d.pred_index(7), Some(0));
         assert_eq!(d.pred_index(9), Some(2));
         assert_eq!(d.pred_index(10), Some(3), "self slot is last");
@@ -287,8 +442,18 @@ mod tests {
     }
 
     #[test]
+    fn pred_index_with_spilled_preds() {
+        let preds: Vec<Key> = (100..108).collect();
+        let d = FtDesc::new(10, 1, &preds);
+        assert_eq!(d.pred_index(100), Some(0));
+        assert_eq!(d.pred_index(107), Some(7));
+        assert_eq!(d.pred_index(10), Some(8), "self slot is last");
+        assert_eq!(d.bits.len(), 9);
+    }
+
+    #[test]
     fn check_fails_after_poison() {
-        let d = FtDesc::new(3, 2, vec![]);
+        let d = FtDesc::new(3, 2, &[]);
         d.poisoned.store(true, Ordering::Release);
         let err = d.check().unwrap_err();
         assert_eq!(err.source, 3);
@@ -297,7 +462,7 @@ mod tests {
 
     #[test]
     fn reset_restores_join_and_bits() {
-        let d = FtDesc::new(1, 1, vec![2, 3]);
+        let d = FtDesc::new(1, 1, &[2, 3]);
         assert!(d.bits.unset(0));
         assert!(d.bits.unset(2));
         d.join.store(0, Ordering::Relaxed);
@@ -309,7 +474,7 @@ mod tests {
     #[test]
     fn source_task_has_join_one() {
         // A source (no preds) still needs the self-notification to fire.
-        let d = FtDesc::new(0, 1, vec![]);
+        let d = FtDesc::new(0, 1, &[]);
         assert_eq!(d.join.load(Ordering::Relaxed), 1);
         assert_eq!(d.pred_index(0), Some(0));
     }

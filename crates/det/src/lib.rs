@@ -133,7 +133,7 @@ impl DetPool {
             };
             self.executed.set(self.executed.get() + 1);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                job(scope);
+                job.run(scope);
             }));
             if let Err(payload) = result {
                 let mut slot = self.panic.borrow_mut();
@@ -173,7 +173,7 @@ impl SpawnHost for DetPool {
 
 impl Executor for DetPool {
     fn execute_job(&self, root: Job) {
-        self.run_until_complete(|scope| root(scope));
+        self.run_until_complete(|scope| root.run(scope));
     }
 
     fn num_threads(&self) -> usize {

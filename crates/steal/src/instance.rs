@@ -214,10 +214,10 @@ impl SpawnHost for InstanceHost<'_> {
 fn wrap_job(inst: &Arc<InstanceState>, job: Job) -> Job {
     inst.enroll();
     let inst = Arc::clone(inst);
-    Box::new(move |outer: &Scope<'_>| {
+    Job::new(move |outer: &Scope<'_>| {
         let host = InstanceHost { outer, inst: &inst };
         let scope = Scope::for_host(&host);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(&scope)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(&scope)));
         inst.finish_job(result.err());
     })
 }
@@ -317,7 +317,7 @@ mod tests {
         let f = Arc::clone(&fired);
         let c = Arc::clone(&counted);
         let (job, handle) = instance_root(
-            Box::new(move |s| {
+            Job::new(move |s| {
                 for _ in 0..64 {
                     let c = Arc::clone(&c);
                     s.spawn(move |_| {
@@ -344,7 +344,7 @@ mod tests {
     fn instance_panic_is_isolated() {
         let pool = Pool::new(PoolConfig::with_threads(2));
         let (job, handle) = instance_root(
-            Box::new(|s| {
+            Job::new(|s| {
                 s.spawn(|_| panic!("instance boom"));
                 s.spawn(|_| {});
             }),

@@ -50,9 +50,11 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod arena;
 pub mod deque;
 pub mod injector;
 pub mod instance;
+pub mod job;
 pub mod latch;
 pub mod metrics;
 pub mod parker;
@@ -60,6 +62,7 @@ pub mod pool;
 pub mod priority;
 pub mod rng;
 
+pub use arena::{Arena, ArenaRef};
 pub use instance::{AdmissionGate, InstanceHandle, InstanceStats, QuiesceHook};
 pub use latch::{CountLatch, Flag};
 pub use pool::{Executor, Job, Pool, PoolConfig, Scope, SpawnHost};

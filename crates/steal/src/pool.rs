@@ -30,8 +30,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A unit of work. Receives a [`Scope`] so it can spawn more work.
-pub type Job = Box<dyn FnOnce(&Scope<'_>) + Send>;
+pub use crate::job::Job;
 
 /// A place jobs can be spawned into. [`Scope`] is generic over this so the
 /// same scheduler code runs on the multithreaded [`Pool`] and on
@@ -183,7 +182,7 @@ impl<'a> Scope<'a> {
     where
         F: FnOnce(&Scope<'_>) + Send + 'static,
     {
-        self.host.spawn_job(Box::new(f));
+        self.host.spawn_job(Job::new(f));
     }
 
     /// Spawn a fire-and-forget job with an acquisition priority.
@@ -196,14 +195,14 @@ impl<'a> Scope<'a> {
     where
         F: FnOnce(&Scope<'_>) + Send + 'static,
     {
-        self.host.spawn_job_with(Box::new(f), prio);
+        self.host.spawn_job_with(Job::new(f), prio);
     }
 
-    /// Spawn an already-boxed job with an acquisition priority.
+    /// Spawn an already-built [`Job`] with an acquisition priority.
     ///
-    /// Equivalent to [`Scope::spawn_with`] but avoids re-boxing a [`Job`]
-    /// that already exists — the instance layer (`crate::instance`) uses
-    /// this to forward wrapped jobs without a second allocation.
+    /// Equivalent to [`Scope::spawn_with`] but forwards a `Job` that
+    /// already exists — the instance layer (`crate::instance`) uses this
+    /// to forward wrapped jobs without re-wrapping.
     pub fn spawn_boxed_with(&self, job: Job, prio: Priority) {
         self.host.spawn_job_with(job, prio);
     }
@@ -449,7 +448,7 @@ impl Pool {
 
 impl Executor for Pool {
     fn execute_job(&self, root: Job) {
-        self.run_until_complete(|scope| root(scope));
+        self.run_until_complete(|scope| root.run(scope));
     }
 
     fn num_threads(&self) -> usize {
@@ -515,7 +514,7 @@ fn worker_main(
             }
             WorkerMetrics::bump(&metrics.executed);
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                job(&scope);
+                job.run(&scope);
             }));
             // Store the payload *before* decrementing: the waiter in
             // `run_until_complete` reads the panic slot as soon as the

@@ -103,11 +103,11 @@ fn done_observation_implies_slot_released() {
         let gate = Arc::new(AdmissionGate::new(1));
         gate.try_acquire().expect("admit the instance");
         let g2 = Arc::clone(&gate);
-        let (job, handle) = instance_root(Box::new(|_s| {}), Some(Box::new(move || g2.release())));
+        let (job, handle) = instance_root(Job::new(|_s| {}), Some(Box::new(move || g2.release())));
         let worker = loom::thread::spawn(move || {
             let host = NullHost;
             let scope = Scope::for_host(&host);
-            job(&scope);
+            job.run(&scope);
         });
         if handle.is_done() {
             assert_eq!(

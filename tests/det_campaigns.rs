@@ -362,6 +362,71 @@ fn broken_notify_bitvec_is_caught_by_oracle() {
     }
 }
 
+/// Mutation test for the PR-8 inline-chain path: break the bit-vector
+/// gate **only on the inline delivery site** (`notify_entry`'s in-place
+/// chain notification) and verify the oracle flags the resulting traces
+/// as G3 violations. Recovery re-registers a failed task's incarnations
+/// with its predecessors, so the predecessor's drain — which runs through
+/// the inline gate — delivers duplicate notifications; with the gate
+/// sabotaged each duplicate decrements the join counter. The spawned
+/// delivery path (`notify_once`) stays intact, so a catch here proves the
+/// campaigns exercise the inline path specifically, not just the legacy
+/// spawn path.
+#[test]
+fn broken_inline_chain_is_caught_by_oracle() {
+    // Same fault geometry as the bit-vector mutation above: before-compute
+    // faults on the multi-predecessor tasks of a 3×3 grid maximize
+    // duplicate-notification schedules.
+    let sites = || [4, 5, 7, 8].map(|k: Key| FaultSite::once(k, Phase::BeforeCompute));
+    const SEEDS: u64 = 96;
+
+    let mut caught = 0u64;
+    for seed in 0..SEEDS {
+        let g = Arc::new(Grid { n: 3 });
+        let plan = Arc::new(FaultPlan::new(sites()));
+        let trace = Arc::new(Trace::new());
+        let sched = FtScheduler::with_plan_traced(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            Arc::clone(&trace),
+        );
+        sched.sabotage_inline_chain();
+        let report = sched.run(&DetPool::new(seed));
+        let violations = oracle_violations(g.as_ref(), &trace, &report, OracleMode::Strict);
+        if violations.iter().any(|v| v.guarantee == "G3") {
+            caught += 1;
+        }
+    }
+    assert!(
+        caught > 0,
+        "sabotaged inline-chain gate produced no G3 violation in {SEEDS} seeds — \
+         the oracle would miss a broken inline-notify path"
+    );
+
+    // Control: the intact scheduler (inline chains enabled, gate intact)
+    // is clean on every one of those seeds.
+    for seed in 0..SEEDS {
+        let g = Arc::new(Grid { n: 3 });
+        let plan = Arc::new(FaultPlan::new(sites()));
+        let (_, trace, report) = det_traced_run(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            seed,
+        );
+        assert!(report.sink_completed);
+        assert_oracle_clean(
+            "inline-chain-mutation-control-grid3",
+            seed,
+            &plan,
+            g.as_ref(),
+            &trace,
+            &report,
+            OracleMode::Strict,
+            Vec::new(),
+        );
+    }
+}
+
 /// Guarantee 6 at the integration level: sites with `fires = 3` fail the
 /// original incarnation and its first two recoveries; every incarnation's
 /// failure is recovered with a strictly increasing life number.

@@ -15,7 +15,12 @@
 //! a sequential execution produces, (P2/Guarantee 1) recover each failure
 //! at most once, and (P4/Lemma 3) always complete — under **both** pop
 //! orders: plain FIFO and the PR-6 priority mode (critical tasks in the
-//! hot lane). Every run is recorded and replayed through the guarantee
+//! hot lane). Since PR 8 the engine executes single-ready-successor
+//! chains inline (continuation passing instead of a spawn), so every
+//! sampled case also exercises the inline-chain delivery path — narrow
+//! configs (`max_width = 1`) are pure chains that run entirely inline in
+//! FIFO mode and re-enter the queue at priority boundaries in priority
+//! mode. Every run is recorded and replayed through the guarantee
 //! oracle; *any* failed property — an oracle violation, a wrong value, a
 //! missing completion — dumps the trace and fault plan as JSON under
 //! `target/oracle-failures/` (completion and coverage checks are routed

@@ -397,6 +397,56 @@ fn bounded_in_flight_under_saturating_stream() {
     assert_eq!(stats.rejected, 1);
 }
 
+/// Per-epoch arena isolation (PR 8): every descriptor a tenant's engine
+/// hands out lives in that engine's own epoch arena and in **no**
+/// co-resident tenant's arena, even when the instances ran concurrently
+/// interleaved on one pool, faulted tenants grew replacement
+/// incarnations, and the epochs quiesced at different times. The handles
+/// stay valid after `wait()` because the ticket's `Arc<Engine>` pins the
+/// epoch's slabs until the scheduler itself drops.
+#[test]
+fn epoch_arenas_are_isolated_across_concurrent_instances() {
+    const TENANTS: u64 = 6;
+    let pool = DetPool::new(0xA12E);
+    let service = GraphService::with_config(
+        &pool,
+        ServiceConfig {
+            max_in_flight: TENANTS as usize,
+            queued_jobs_watermark: u64::MAX,
+        },
+    );
+    let tenants: Vec<Tenant> = (0..TENANTS).map(|i| make_tenant(i, 13)).collect();
+    let tickets: Vec<InstanceTicket<_>> = tenants
+        .iter()
+        .map(|t| service.submit(&t.sched).expect("admitted"))
+        .collect();
+    service.drive();
+    for t in tickets {
+        assert!(t.wait().report.sink_completed);
+    }
+    for (i, owner) in tenants.iter().enumerate() {
+        for &k in &owner.keys {
+            let d = owner
+                .sched
+                .desc_handle(k)
+                .expect("completed epoch retains every task");
+            assert!(
+                owner.sched.owns_desc(d),
+                "tenant {i}: descriptor for task {k} must live in its own epoch arena"
+            );
+            for (j, other) in tenants.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !other.sched.owns_desc(d),
+                        "tenant {i}'s descriptor for task {k} found in tenant {j}'s arena — \
+                         epoch slabs leaked across instances"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Deterministic replay: the same DetPool seed and submission sequence
 /// reproduce the identical cross-instance interleaving — every tenant's
 /// trace is event-for-event identical across the two runs.
