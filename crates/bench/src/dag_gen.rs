@@ -353,6 +353,17 @@ impl TaskGraph for RandDag {
         self.succs.get(key as usize).cloned().unwrap_or_default()
     }
 
+    fn predecessors_into(&self, key: Key, out: &mut Vec<Key>) {
+        out.clear();
+        if let Some(p) = self.preds.get(key as usize) {
+            out.extend_from_slice(p);
+        }
+    }
+
+    fn out_degree(&self, key: Key) -> usize {
+        self.succs.get(key as usize).map_or(0, Vec::len)
+    }
+
     fn compute(&self, key: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
         let mut h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.cfg.seed;
         for &p in &self.preds[key as usize] {
@@ -409,6 +420,17 @@ mod tests {
         }
         assert_eq!(a.hard_tasks(), b.hard_tasks());
         assert_eq!(a.critical_tasks(), b.critical_tasks());
+    }
+
+    #[test]
+    fn hot_path_overrides_match_defaults() {
+        let d = RandDag::generate(cfg(42));
+        let mut buf = Vec::new();
+        for k in d.all_keys() {
+            d.predecessors_into(k, &mut buf);
+            assert_eq!(buf, d.predecessors(k));
+            assert_eq!(d.out_degree(k), d.successors(k).len());
+        }
     }
 
     #[test]

@@ -38,6 +38,79 @@ impl TaskGraph for EmptyGrid {
         }
         s
     }
+    fn predecessors_into(&self, k: Key, out: &mut Vec<Key>) {
+        out.clear();
+        let (i, j) = (k / self.n, k % self.n);
+        if i > 0 {
+            out.push((i - 1) * self.n + j);
+        }
+        if j > 0 {
+            out.push(i * self.n + (j - 1));
+        }
+    }
+
+    fn out_degree(&self, k: Key) -> usize {
+        let (i, j) = (k / self.n, k % self.n);
+        usize::from(i + 1 < self.n) + usize::from(j + 1 < self.n)
+    }
+
+    fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+        Ok(())
+    }
+}
+
+/// Fan-out/fan-in star with trivial compute: one hub feeding `width`
+/// middle tasks that all join into one sink. The hub's completion drain
+/// delivers `width` notifications from a single notify-cell array while
+/// the middle tasks race their registrations against it, and the sink's
+/// cells absorb `width` racing claims — the maximum-contention shape for
+/// the PR-9 lock-free notification path (a mutexed notify list serializes
+/// every one of those registrations).
+pub struct Star {
+    /// Number of middle tasks; the graph has `width + 2` tasks.
+    pub width: i64,
+}
+
+impl TaskGraph for Star {
+    fn sink(&self) -> Key {
+        self.width + 1
+    }
+    fn predecessors(&self, k: Key) -> Vec<Key> {
+        if k == 0 {
+            Vec::new()
+        } else if k <= self.width {
+            vec![0]
+        } else {
+            (1..=self.width).collect()
+        }
+    }
+    fn successors(&self, k: Key) -> Vec<Key> {
+        if k == 0 {
+            (1..=self.width).collect()
+        } else if k <= self.width {
+            vec![self.width + 1]
+        } else {
+            Vec::new()
+        }
+    }
+    fn predecessors_into(&self, k: Key, out: &mut Vec<Key>) {
+        out.clear();
+        if k == 0 {
+        } else if k <= self.width {
+            out.push(0);
+        } else {
+            out.extend(1..=self.width);
+        }
+    }
+    fn out_degree(&self, k: Key) -> usize {
+        if k == 0 {
+            self.width as usize
+        } else if k <= self.width {
+            1
+        } else {
+            0
+        }
+    }
     fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
         Ok(())
     }
@@ -59,6 +132,36 @@ mod tests {
             for p in g.predecessors(k) {
                 assert!(g.successors(p).contains(&k));
             }
+        }
+    }
+
+    #[test]
+    fn grid_overrides_match_defaults() {
+        let g = EmptyGrid { n: 4 };
+        let mut buf = Vec::new();
+        for k in 0..16 {
+            g.predecessors_into(k, &mut buf);
+            assert_eq!(buf, g.predecessors(k));
+            assert_eq!(g.out_degree(k), g.successors(k).len());
+        }
+    }
+
+    #[test]
+    fn star_edges_are_consistent() {
+        let g = Star { width: 5 };
+        assert_eq!(g.sink(), 6);
+        assert_eq!(g.predecessors(0), Vec::<Key>::new());
+        assert_eq!(g.predecessors(3), vec![0]);
+        assert_eq!(g.predecessors(6), vec![1, 2, 3, 4, 5]);
+        assert_eq!(g.successors(0), vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        for k in 0..=6 {
+            for p in g.predecessors(k) {
+                assert!(g.successors(p).contains(&k));
+            }
+            g.predecessors_into(k, &mut buf);
+            assert_eq!(buf, g.predecessors(k));
+            assert_eq!(g.out_degree(k), g.successors(k).len());
         }
     }
 }

@@ -21,12 +21,27 @@
 //! evicted again within the run — the retention relaxation the paper itself
 //! suggests ("could be ameliorated by retaining the intermediate versions
 //! in memory") and which guarantees recovery chains terminate.
+//!
+//! ## Wait-free reads (PR 9)
+//!
+//! Reads never take a lock. Each block publishes an **immutable version
+//! table** through an [`AtomicPtr`](ft_sync::atomic::AtomicPtr) plus a
+//! `latest` version counter (`version + 1`, 0 = none), mirroring the
+//! copy-on-write discipline of `ft-cmap` (PR 4): writers serialize on a
+//! per-block mutex, build a fresh table, and publish it with a Release
+//! store *before* bumping `latest` (also Release). A reader that
+//! Acquire-loads `latest` and then Acquire-loads the table is therefore
+//! guaranteed to find the version `latest` names — the table can only be
+//! *newer* than the counter, never older. Retired tables are parked in a
+//! graveyard guarded by the writer mutex and freed when the store drops,
+//! so a table pointer loaded by any reader stays valid for the store's
+//! lifetime (no hazard pointers or epochs needed at this version-grained
+//! churn rate; tables are small — one slot per version ever published).
 
 use crate::fault::Fault;
 use crate::graph::Key;
-use ft_sync::atomic::{AtomicU64, Ordering};
+use ft_sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Dense identifier of a data block (application-chosen indexing).
@@ -81,36 +96,120 @@ pub enum Retention {
     KeepLast(u64),
 }
 
-struct VersionEntry<T> {
-    data: Arc<Vec<T>>,
+/// One version's record in the immutable table. `data: None` is the
+/// eviction tombstone: the version existed, its producer is remembered for
+/// [`BlockError::Overwritten`] attribution, but its payload was reclaimed.
+struct Slot<T> {
+    version: Version,
     producer: Key,
     poisoned: bool,
     /// Republished by recovery below the current latest; never evict.
     recovery_resident: bool,
+    data: Option<Arc<Vec<T>>>,
 }
 
-struct BlockState<T> {
-    versions: BTreeMap<Version, VersionEntry<T>>,
-    /// Highest version ever published.
-    latest: Option<Version>,
-    /// Producer of every version ever published (tombstones for eviction
-    /// attribution). Small: one `(u64, i64)` pair per version.
-    producers: BTreeMap<Version, Key>,
+impl<T> Clone for Slot<T> {
+    fn clone(&self) -> Self {
+        Slot {
+            version: self.version,
+            producer: self.producer,
+            poisoned: self.poisoned,
+            recovery_resident: self.recovery_resident,
+            data: self.data.clone(),
+        }
+    }
 }
 
-impl<T> BlockState<T> {
+/// An immutable snapshot of every version ever published to one block,
+/// sorted by version number. Writers replace the whole table; readers
+/// binary-search a consistent snapshot without synchronizing with writers.
+struct Table<T> {
+    slots: Vec<Slot<T>>,
+}
+
+impl<T> Table<T> {
+    fn find(&self, version: Version) -> Option<&Slot<T>> {
+        self.slots
+            .binary_search_by_key(&version, |s| s.version)
+            .ok()
+            .map(|i| &self.slots[i])
+    }
+}
+
+struct Block<T> {
+    /// Latest published version + 1 (0 = nothing published yet).
+    latest: AtomicU64,
+    /// Current table. Writers store with Release after building the new
+    /// snapshot; readers load with Acquire and dereference lock-free.
+    table: AtomicPtr<Table<T>>,
+    /// Writer serialization. The guarded vec is the graveyard of retired
+    /// tables: readers may still hold references into them, so they are
+    /// only freed in `Drop`, under exclusive access.
+    writer: Mutex<Vec<*mut Table<T>>>,
+}
+
+// SAFETY: the only fields the auto-trait derivation cannot see are the raw
+// `Table` pointers (current and retired). Tables are created by writers,
+// published via the AtomicPtr, and freed exactly once under `&mut self` in
+// `Drop`; between publication and drop they are immutable and live, so
+// sharing `&Block<T>` across threads hands out only `&Table<T>` /
+// `Arc<Vec<T>>` views, which requires `T: Send + Sync` (the same bound the
+// pre-PR9 `Mutex<BTreeMap>` layout imposed structurally).
+unsafe impl<T: Send + Sync> Send for Block<T> {}
+// SAFETY: see the `Send` impl above — all shared access is to immutable
+// published tables.
+unsafe impl<T: Send + Sync> Sync for Block<T> {}
+
+impl<T> Block<T> {
     fn new() -> Self {
-        BlockState {
-            versions: BTreeMap::new(),
-            latest: None,
-            producers: BTreeMap::new(),
+        Block {
+            latest: AtomicU64::new(0),
+            table: AtomicPtr::new(Box::into_raw(Box::new(Table { slots: Vec::new() }))),
+            writer: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Reader-side snapshot of the current table.
+    fn snapshot(&self) -> &Table<T> {
+        // ord: Acquire pairs with the writer's Release publish so the
+        // table's slots (built before the store) are visible.
+        let p = self.table.load(Ordering::Acquire);
+        // SAFETY: `p` was published from `Box::into_raw` and is freed only
+        // in `Drop` (retired tables included), so it outlives this `&self`.
+        unsafe { &*p }
+    }
+
+    /// Writer-side: replace the table, retiring the old one. Must be
+    /// called with the `writer` lock held (the guard proves it).
+    fn install(&self, graveyard: &mut Vec<*mut Table<T>>, next: Table<T>) {
+        let next = Box::into_raw(Box::new(next));
+        // ord: Release publishes the fully built table to readers; the
+        // writer lock serializes with other writers, so no CAS is needed.
+        let old = self.table.swap(next, Ordering::Release);
+        graveyard.push(old);
+    }
+}
+
+impl<T> Drop for Block<T> {
+    fn drop(&mut self) {
+        // ord: Relaxed — `&mut self` means no concurrent readers/writers.
+        let cur = self.table.load(Ordering::Relaxed);
+        // SAFETY: `cur` and every graveyard pointer came from
+        // `Box::into_raw`, each is freed exactly once (a pointer is either
+        // current or retired, never both), and exclusive access means no
+        // reader still holds a reference.
+        unsafe {
+            drop(Box::from_raw(cur));
+            for p in self.writer.get_mut().drain(..) {
+                drop(Box::from_raw(p));
+            }
         }
     }
 }
 
 /// A store of versioned data blocks shared by an application's tasks.
 pub struct BlockStore<T> {
-    blocks: Vec<Mutex<BlockState<T>>>,
+    blocks: Vec<Block<T>>,
     retention: Retention,
     evictions: AtomicU64,
     republishes: AtomicU64,
@@ -123,9 +222,7 @@ impl<T: Send> BlockStore<T> {
             assert!(k >= 1, "KeepLast requires k >= 1");
         }
         BlockStore {
-            blocks: (0..nblocks)
-                .map(|_| Mutex::new(BlockState::new()))
-                .collect(),
+            blocks: (0..nblocks).map(|_| Block::new()).collect(),
             retention,
             evictions: AtomicU64::new(0),
             republishes: AtomicU64::new(0),
@@ -150,44 +247,65 @@ impl<T: Send> BlockStore<T> {
     /// as recovery-resident. Re-publishing an existing version replaces its
     /// data and clears any poison (the recovered producer recreated it).
     pub fn publish(&self, block: BlockId, version: Version, producer: Key, data: Vec<T>) {
-        let mut st = self.blocks[block].lock();
+        let blk = &self.blocks[block];
+        let mut graveyard = blk.writer.lock();
+        let cur = blk.snapshot();
         // Pinned versions are resilient inputs: no task legitimately
         // redefines them, and they must stay pinned. Ignore such writes.
-        if matches!(st.versions.get(&version), Some(e) if e.producer == RESILIENT_PRODUCER) {
+        if matches!(cur.find(version), Some(s) if s.producer == RESILIENT_PRODUCER && s.data.is_some())
+        {
             return;
         }
-        let is_new_latest = st.latest.map(|l| version > l).unwrap_or(true);
-        let recovery_resident = !is_new_latest && !st.versions.contains_key(&version);
+        // ord: Relaxed — `latest` is only written under the writer lock we
+        // hold, so this read cannot race a store.
+        let latest = blk.latest.load(Ordering::Relaxed);
+        let is_new_latest = latest == 0 || version + 1 > latest;
+        // Recovery-resident iff re-instating a version that is currently
+        // *not* resident (evicted tombstone or never seen below latest).
+        let recovery_resident =
+            !is_new_latest && !matches!(cur.find(version), Some(s) if s.data.is_some());
         if !is_new_latest {
             self.republishes.fetch_add(1, Ordering::Relaxed);
         }
-        st.producers.insert(version, producer);
-        st.versions.insert(
+        let mut slots = cur.slots.clone();
+        let slot = Slot {
             version,
-            VersionEntry {
-                data: Arc::new(data),
-                producer,
-                poisoned: false,
-                recovery_resident,
-            },
-        );
+            producer,
+            poisoned: false,
+            recovery_resident,
+            data: Some(Arc::new(data)),
+        };
+        match slots.binary_search_by_key(&version, |s| s.version) {
+            Ok(i) => slots[i] = slot,
+            Err(i) => slots.insert(i, slot),
+        }
         if is_new_latest {
-            st.latest = Some(version);
             if let Retention::KeepLast(k) = self.retention {
                 // The version sliding out of the window. Pinned (resilient)
                 // and recovery-resident versions are exempt.
                 if version >= k {
                     let out = version - k;
-                    let evict = matches!(
-                        st.versions.get(&out),
-                        Some(e) if !e.recovery_resident && e.producer != RESILIENT_PRODUCER
-                    );
-                    if evict {
-                        st.versions.remove(&out);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(i) = slots.binary_search_by_key(&out, |s| s.version) {
+                        let s = &mut slots[i];
+                        if s.data.is_some()
+                            && !s.recovery_resident
+                            && s.producer != RESILIENT_PRODUCER
+                        {
+                            // Tombstone: drop the payload, keep producer
+                            // attribution for Overwritten errors.
+                            s.data = None;
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
             }
+        }
+        blk.install(&mut graveyard, Table { slots });
+        if is_new_latest {
+            // ord: Release *after* the table store — a reader that
+            // Acquire-loads this counter is guaranteed to find `version`
+            // in whatever table it subsequently loads.
+            blk.latest.store(version + 1, Ordering::Release);
         }
     }
 
@@ -195,74 +313,106 @@ impl<T: Send> BlockStore<T> {
     /// for initial inputs, which the paper assumes are "made resilient
     /// through other means".
     pub fn publish_pinned(&self, block: BlockId, version: Version, data: Vec<T>) {
-        let mut st = self.blocks[block].lock();
-        if st.latest.map(|l| version > l).unwrap_or(true) {
-            st.latest = Some(version);
-        }
-        st.producers.insert(version, RESILIENT_PRODUCER);
-        st.versions.insert(
+        let blk = &self.blocks[block];
+        let mut graveyard = blk.writer.lock();
+        let cur = blk.snapshot();
+        let mut slots = cur.slots.clone();
+        let slot = Slot {
             version,
-            VersionEntry {
-                data: Arc::new(data),
-                producer: RESILIENT_PRODUCER,
-                poisoned: false,
-                recovery_resident: false,
-            },
-        );
+            producer: RESILIENT_PRODUCER,
+            poisoned: false,
+            recovery_resident: false,
+            data: Some(Arc::new(data)),
+        };
+        match slots.binary_search_by_key(&version, |s| s.version) {
+            Ok(i) => slots[i] = slot,
+            Err(i) => slots.insert(i, slot),
+        }
+        blk.install(&mut graveyard, Table { slots });
+        // ord: Relaxed load is writer-private (see `publish`); Release
+        // store pairs with reader Acquire loads.
+        if version + 1 > blk.latest.load(Ordering::Relaxed) {
+            blk.latest.store(version + 1, Ordering::Release);
+        }
     }
 
     /// Read version `version` of `block`. Fails with the producing task if
-    /// the version is poisoned or was evicted.
+    /// the version is poisoned or was evicted. **Wait-free**: never blocks
+    /// on concurrent publishers.
     pub fn read(&self, block: BlockId, version: Version) -> Result<Arc<Vec<T>>, BlockError> {
-        let st = self.blocks[block].lock();
-        match st.versions.get(&version) {
-            Some(e) if e.poisoned => Err(BlockError::Poisoned {
-                producer: e.producer,
+        match self.blocks[block].snapshot().find(version) {
+            Some(s) if s.poisoned => Err(BlockError::Poisoned {
+                producer: s.producer,
             }),
-            Some(e) => Ok(Arc::clone(&e.data)),
-            None => match st.producers.get(&version) {
-                Some(&producer) => Err(BlockError::Overwritten { producer }),
-                None => Err(BlockError::Missing),
+            Some(s) => match &s.data {
+                Some(d) => Ok(Arc::clone(d)),
+                None => Err(BlockError::Overwritten {
+                    producer: s.producer,
+                }),
             },
-        }
-    }
-
-    /// Read the *latest* version of `block` (diagnostics/verification).
-    pub fn read_latest(&self, block: BlockId) -> Result<(Version, Arc<Vec<T>>), BlockError> {
-        let st = self.blocks[block].lock();
-        let latest = st.latest.ok_or(BlockError::Missing)?;
-        match st.versions.get(&latest) {
-            Some(e) if e.poisoned => Err(BlockError::Poisoned {
-                producer: e.producer,
-            }),
-            Some(e) => Ok((latest, Arc::clone(&e.data))),
             None => Err(BlockError::Missing),
         }
     }
 
-    /// Latest published version of `block`, if any.
+    /// Read the *latest* version of `block` (diagnostics/verification).
+    /// **Wait-free**: never blocks on concurrent publishers.
+    ///
+    /// Version and payload come from one table snapshot — the slots are
+    /// version-sorted and the highest version ever published is never
+    /// evicted, so the last slot *is* the latest version. (Reading the
+    /// `latest` counter and then the table would not be atomic: a
+    /// concurrent publish could evict the counter's version from the
+    /// newer snapshot.)
+    pub fn read_latest(&self, block: BlockId) -> Result<(Version, Arc<Vec<T>>), BlockError> {
+        match self.blocks[block].snapshot().slots.last() {
+            Some(s) if s.poisoned => Err(BlockError::Poisoned {
+                producer: s.producer,
+            }),
+            Some(s) => match &s.data {
+                Some(d) => Ok((s.version, Arc::clone(d))),
+                None => Err(BlockError::Missing),
+            },
+            None => Err(BlockError::Missing),
+        }
+    }
+
+    /// Latest published version of `block`, if any. Wait-free.
     pub fn latest_version(&self, block: BlockId) -> Option<Version> {
-        self.blocks[block].lock().latest
+        // ord: Acquire pairs with the publisher's Release store.
+        match self.blocks[block].latest.load(Ordering::Acquire) {
+            0 => None,
+            l => Some(l - 1),
+        }
     }
 
     /// Poison version `version` of `block` (fault injection). Pinned
     /// versions are resilient and ignore poisoning. Returns true if a
     /// resident version was poisoned.
     pub fn poison(&self, block: BlockId, version: Version) -> bool {
-        let mut st = self.blocks[block].lock();
-        match st.versions.get_mut(&version) {
-            Some(e) if e.producer != RESILIENT_PRODUCER => {
-                e.poisoned = true;
-                true
-            }
-            _ => false,
+        let blk = &self.blocks[block];
+        let mut graveyard = blk.writer.lock();
+        let cur = blk.snapshot();
+        let resident = matches!(
+            cur.find(version),
+            Some(s) if s.producer != RESILIENT_PRODUCER && s.data.is_some()
+        );
+        if !resident {
+            return false;
         }
+        let mut slots = cur.slots.clone();
+        if let Ok(i) = slots.binary_search_by_key(&version, |s| s.version) {
+            slots[i].poisoned = true;
+        }
+        blk.install(&mut graveyard, Table { slots });
+        true
     }
 
-    /// True if `block` currently holds `version` un-poisoned.
+    /// True if `block` currently holds `version` un-poisoned. Wait-free.
     pub fn is_live(&self, block: BlockId, version: Version) -> bool {
-        let st = self.blocks[block].lock();
-        matches!(st.versions.get(&version), Some(e) if !e.poisoned)
+        matches!(
+            self.blocks[block].snapshot().find(version),
+            Some(s) if !s.poisoned && s.data.is_some()
+        )
     }
 
     /// Total evictions performed (memory-reuse overwrites).
@@ -275,9 +425,14 @@ impl<T: Send> BlockStore<T> {
         self.republishes.load(Ordering::Relaxed)
     }
 
-    /// Number of resident versions of `block` (diagnostics).
+    /// Number of resident versions of `block` (diagnostics). Wait-free.
     pub fn resident_versions(&self, block: BlockId) -> usize {
-        self.blocks[block].lock().versions.len()
+        self.blocks[block]
+            .snapshot()
+            .slots
+            .iter()
+            .filter(|s| s.data.is_some())
+            .count()
     }
 }
 
@@ -290,13 +445,8 @@ impl<T: Send + Clone> BlockStore<T> {
     pub fn export_latest(&self) -> Vec<(BlockId, Version, Vec<T>)> {
         let mut out = Vec::new();
         for bid in 0..self.blocks.len() {
-            let st = self.blocks[bid].lock();
-            if let Some(latest) = st.latest {
-                if let Some(e) = st.versions.get(&latest) {
-                    if !e.poisoned {
-                        out.push((bid, latest, e.data.as_ref().clone()));
-                    }
-                }
+            if let Ok((latest, data)) = self.read_latest(bid) {
+                out.push((bid, latest, data.as_ref().clone()));
             }
         }
         out

@@ -75,6 +75,17 @@ pub trait TaskGraph: Send + Sync {
     /// array) and by graph analysis.
     fn successors(&self, key: Key) -> Vec<Key>;
 
+    /// Number of immediate successors of `key` — the notify-cell capacity
+    /// of its descriptor (each successor registers at most once outside
+    /// recovery).
+    ///
+    /// The schedulers call this once per descriptor creation; the default
+    /// materializes [`TaskGraph::successors`] and inherits its `Vec`
+    /// allocation, so hot graphs should override it with a direct count.
+    fn out_degree(&self, key: Key) -> usize {
+        self.successors(key).len()
+    }
+
     /// The task body. Reads this task's input data blocks, writes its
     /// output blocks. A detected fault in an input (poisoned or evicted
     /// block version) is returned as `Err(fault)` carrying the *source*
@@ -133,6 +144,8 @@ mod tests {
         let mut scratch = vec![99, 98];
         g.predecessors_into(2, &mut scratch);
         assert_eq!(scratch, vec![1], "default predecessors_into clears out");
+        assert_eq!(g.out_degree(0), 1, "default out_degree counts successors");
+        assert_eq!(g.out_degree(2), 0);
         assert!(g.source_hint().is_none());
         g.poison_outputs(0); // default no-op
     }

@@ -32,7 +32,7 @@ impl FtPolicy for NoFt {
 
     fn make_desc(&self, graph: &dyn TaskGraph, key: Key, scratch: &mut Vec<Key>) -> BaseDesc {
         graph.predecessors_into(key, scratch);
-        BaseDesc::new(key, scratch)
+        BaseDesc::new(key, scratch, graph.out_degree(key))
     }
 
     #[inline]

@@ -52,14 +52,13 @@ use crate::fault::Fault;
 use crate::graph::{ComputeCtx, Key, TaskGraph};
 use crate::inject::Phase;
 use crate::metrics::{RunMetrics, RunReport};
-use crate::task::{NotifyList, Status};
+use crate::task::{NotifyCells, Status, Take};
 use crate::trace::Event;
 use ft_cmap::ShardedMap;
 use ft_steal::arena::{Arena, ArenaRef};
 use ft_steal::pool::{Executor, Scope};
 use ft_steal::{Job, Priority};
-use ft_sync::atomic::{AtomicI64, Ordering};
-use parking_lot::Mutex;
+use ft_sync::atomic::{fence, AtomicI64, Ordering};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
@@ -132,8 +131,9 @@ pub trait Descriptor: Send + Sync + 'static {
     fn preds(&self) -> &[Key];
     /// Join counter (`|preds| + 1`; the +1 is the self-notification).
     fn join(&self) -> &AtomicI64;
-    /// Successors enqueued to be notified when this task computes.
-    fn notify(&self) -> &Mutex<NotifyList>;
+    /// Lock-free successor notification cells (PR 9): slots claimed by
+    /// registrants, scanned by this task's completion drain.
+    fn notify_cells(&self) -> &NotifyCells;
     /// Store a new status.
     fn set_status(&self, s: Status);
 }
@@ -194,6 +194,15 @@ pub trait FtPolicy: Send + Sync + Sized + 'static {
     /// (exactly the bug a careless chain implementation would have) that
     /// the G1–G6 trace oracle must flag. Default: off, i.e. correct.
     fn sabotage_chain(&self) -> bool {
+        false
+    }
+
+    /// Mutation-test switch: when true (one-shot), the next notify-cell
+    /// registration claims a slot but drops both the `Release` publish and
+    /// the self-delivery fallback — a lost notification (exactly the bug a
+    /// missing publish fence would cause) that the G3/G4 trace oracle must
+    /// flag as a quiesced-but-incomplete run. Default: off, i.e. correct.
+    fn sabotage_cell(&self) -> bool {
         false
     }
 
@@ -409,32 +418,56 @@ impl<P: FtPolicy> Engine<P> {
             });
         }
 
-        // try { check B; register or observe completion }
+        // try { check B; register; self-deliver if B already computed }
         let attempt: Result<bool, P::Err> = (|| {
             P::check_dependable(&b)?;
-            let finished = {
-                // The status read must happen under B's notify lock: it
-                // pairs with ComputeAndNotify's locked length re-check so
-                // a registration can never be missed.
-                let mut g = b.notify().lock();
-                if P::read_status(&b)? < Status::Computed {
-                    g.push(key);
-                    false
-                } else {
-                    true
-                }
-            };
-            Ok(finished)
+            self.register_notify(&b, key)
         })();
 
         match attempt {
             Ok(true) => self.notify_once(s, a, key, pkey, life),
             Ok(false) => {}
-            // catch { RecoverTaskOnce(pkey, blife) }. A is *not* registered
-            // with B; B's recovery re-enqueues A via ReinitNotifyEntry (A's
-            // bit for B is still set).
+            // catch { RecoverTaskOnce(pkey, blife) }. A's published cell
+            // (if the claim got that far) is inert on the corrupt
+            // incarnation; B's recovery re-enqueues A via
+            // ReinitNotifyEntry (A's bit for B is still set), and any
+            // stale delivery from the old incarnation is absorbed by A's
+            // notification bits.
             Err(f) => P::on_guard_fault(self, s, f, pkey, blife),
         }
+    }
+
+    /// Lock-free registration of successor `key` in `b`'s notify cells
+    /// (PR 9). Claims a slot, publishes the key, then — after an SC fence —
+    /// re-reads `b`'s status: if `b` has already computed, the drainer's
+    /// scan may have missed the publish, so the registrant takes its own
+    /// slot back via CAS and delivers the notification itself. Returns
+    /// `Ok(true)` iff the caller must self-deliver (it won the slot).
+    ///
+    /// Exactly-once: the slot's `key → TAKEN` CAS has one winner, whichever
+    /// side it is. No-loss (Dekker over SC fences): if the drainer's scan
+    /// load missed the publish, the drainer's fence precedes the
+    /// registrant's in the SC order, so this status read observes
+    /// `≥ Computed` and the registrant self-delivers; conversely a
+    /// registrant that reads `< Computed` has its fence first, so the
+    /// drainer's scan observes the published key.
+    pub(super) fn register_notify(&self, b: &P::Desc, key: Key) -> Result<bool, P::Err> {
+        let cells = b.notify_cells();
+        let slot = cells.claim();
+        if self.policy.sabotage_cell() {
+            // Mutation testing: the claim happened but the publish (and
+            // the self-delivery fallback) is dropped — a lost notification
+            // the G3/G4 trace oracle must flag.
+            return Ok(false);
+        }
+        cells.publish(slot, key);
+        // ord: SeqCst fence — Dekker pairing with the drainer's fence after
+        // its `Computed` store (see `compute_and_notify_step`).
+        fence(Ordering::SeqCst);
+        if P::read_status(b)? >= Status::Computed {
+            return Ok(cells.try_take(slot, key));
+        }
+        Ok(false)
     }
 
     /// The gate of `NotifyOnce(A, key, pkey, life)`: consume the
@@ -546,30 +579,30 @@ impl<P: FtPolicy> Engine<P> {
             P::probe(self, &a, key, Phase::AfterCompute, worker);
             P::check(&a)?;
             a.set_status(Status::Computed);
+            // ord: SeqCst fence — Dekker pairing with the registrant's
+            // fence after its cell publish (see `register_notify`): every
+            // registration this scan misses is guaranteed to observe
+            // `≥ Computed` and self-deliver.
+            fence(Ordering::SeqCst);
 
-            let mut notified = 0usize;
+            let cells = a.notify_cells();
+            let mut cursor = 0usize;
             loop {
                 P::check(&a)?;
-                // Drain the notify array by index under short locks — no
-                // batch copy. Registrations racing in are picked up by
-                // the next length probe or the locked re-check below.
-                loop {
-                    let next = {
-                        let g = a.notify().lock();
-                        if notified < g.len() {
-                            Some(g.get(notified))
-                        } else {
-                            None
-                        }
-                    };
-                    let Some(skey) = next else { break };
-                    notified += 1;
-                    self.notify_entry(s, key, skey, depth, &mut chain);
+                // Scan every claimed slot once, lock-free. A `Deliver` win
+                // is this drainer's to hand off; `Delegated`/`Done` slots
+                // are (or will be) delivered by their registrant.
+                let len = cells.len();
+                while cursor < len {
+                    if let Take::Deliver(skey) = cells.take_at(cursor) {
+                        self.notify_entry(s, key, skey, depth, &mut chain);
+                    }
+                    cursor += 1;
                 }
-                let g = a.notify().lock();
-                if g.len() == notified {
+                // Claims that race past this re-read are SC-ordered after
+                // this drain and self-deliver (registrant protocol).
+                if cells.len() == cursor {
                     a.set_status(Status::Completed);
-                    drop(g);
                     self.policy.emit(worker, Event::Completed { key, life });
                     if let Some(dl) = &self.opts.deadline {
                         dl.record(key);

@@ -49,6 +49,11 @@ pub struct FtRecovery {
     /// that forgot the Guarantee-3 gate would have. Tests flip it to prove
     /// the oracle flags a broken inline-notify path.
     pub(super) sabotage_chain: AtomicBool,
+    /// One-shot mutation-testing switch for the PR-9 notify cells: when
+    /// set, the next registration claims its slot but drops the `Release`
+    /// publish and the self-delivery fallback — a lost notification. Tests
+    /// flip it to prove the oracle flags a quiesced-but-incomplete run.
+    pub(super) sabotage_cell: AtomicBool,
 }
 
 impl FtRecovery {
@@ -59,6 +64,7 @@ impl FtRecovery {
             trace,
             sabotage_notify: AtomicBool::new(false),
             sabotage_chain: AtomicBool::new(false),
+            sabotage_cell: AtomicBool::new(false),
         }
     }
 }
@@ -69,7 +75,7 @@ impl FtPolicy for FtRecovery {
 
     fn make_desc(&self, graph: &dyn TaskGraph, key: Key, scratch: &mut Vec<Key>) -> FtDesc {
         graph.predecessors_into(key, scratch);
-        FtDesc::new(key, 1, scratch)
+        FtDesc::new(key, 1, scratch, graph.out_degree(key))
     }
 
     #[inline]
@@ -140,6 +146,13 @@ impl FtPolicy for FtRecovery {
     #[inline]
     fn sabotage_chain(&self) -> bool {
         self.sabotage_chain.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn sabotage_cell(&self) -> bool {
+        // One-shot: exactly one registration loses its publish.
+        self.sabotage_cell.load(Ordering::Relaxed)
+            && self.sabotage_cell.swap(false, Ordering::Relaxed)
     }
 
     #[inline]
@@ -273,6 +286,19 @@ impl Engine<FtRecovery> {
     #[doc(hidden)]
     pub fn sabotage_inline_chain(&self) {
         self.policy.sabotage_chain.store(true, Ordering::Relaxed);
+    }
+
+    /// Drop one notify-cell publish (mutation testing only).
+    ///
+    /// With this set, exactly one registration claims its slot in the
+    /// predecessor's notify cells but never publishes its key — and skips
+    /// the self-delivery fallback — so one notification is lost and the
+    /// successor's join counter never reaches zero. The run quiesces with
+    /// an incomplete sink; the trace oracle must flag it as a G4
+    /// violation; see `tests/det_campaigns.rs`.
+    #[doc(hidden)]
+    pub fn sabotage_notify_cell(&self) {
+        self.policy.sabotage_cell.store(true, Ordering::Relaxed);
     }
 
     /// Number of entries in the recovery table (≥1 failure observed).

@@ -66,7 +66,8 @@ impl Engine<FtRecovery> {
             let life = cur.map(|d: &ArenaRef<FtDesc>| d.life).unwrap_or(0) + 1;
             let d = with_pred_scratch(|scratch| {
                 self.graph.predecessors_into(key, scratch);
-                self.arena.alloc(FtDesc::new(key, life, scratch))
+                let out = self.graph.out_degree(key);
+                self.arena.alloc(FtDesc::new(key, life, scratch, out))
             });
             (Some(d), (d, life))
         })
@@ -138,7 +139,18 @@ impl Engine<FtRecovery> {
 
     /// `ReinitNotifyEntry(T, key, S, skey, slife)`: if successor `S` is
     /// still Visited and has not consumed `T`'s notification (its bit for
-    /// `key` is set), enqueue it in the new incarnation's notify array.
+    /// `key` is set), register it in the new incarnation's notify cells.
+    ///
+    /// The fresh incarnation **is** the generation tag: `ReplaceTask`
+    /// allocated `t` with empty cells, so stale registrations on the
+    /// superseded descriptor are never cleared in place — they are simply
+    /// left behind, and any late delivery from the old incarnation's drain
+    /// is absorbed by `S`'s notification bits (Guarantee 3). Registration
+    /// goes through the same lock-free claim/publish protocol as the hot
+    /// path (claims past the out-degree capacity land in the overflow
+    /// chain); `t` cannot be draining yet — its `InitAndCompute` is
+    /// spawned only after this traversal finishes and its join counter
+    /// still holds the self-notification.
     ///
     /// An error *in S* triggers S's own recovery and does not abort the
     /// traversal; an error *in T* propagates ("else throw") so
@@ -164,7 +176,13 @@ impl Engine<FtRecovery> {
                 .ok_or_else(|| Fault::descriptor(skey, slife))?;
             if sd.bits.get(ind) {
                 t.check()?;
-                t.notify.lock().push(skey);
+                // A corrupt status byte in T surfaces here and propagates
+                // (error in T). Self-delivery cannot trigger — T is
+                // Visited until its InitAndCompute runs — but if it ever
+                // did, delivering to S here is the correct action.
+                if self.register_notify(&t, skey)? {
+                    self.notify_once(s, sd, skey, key, slife);
+                }
             }
             Ok(())
         })();

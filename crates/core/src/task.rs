@@ -12,20 +12,31 @@
 //! through the [`Descriptor`] trait.
 //!
 //! Since PR 8 the descriptors are **allocation-free for typical fan-in**:
-//! the predecessor list ([`PredList`]) and notify array ([`NotifyList`])
+//! the predecessor list ([`PredList`]) and notify cells ([`NotifyCells`])
 //! store up to [`INLINE_KEYS`] keys inline and only spill wider lists to
 //! the heap, and the bit vector keeps its first word inline. A grid/LCS/LU
 //! task (≤ 2 predecessors, ≤ 2 successors) therefore costs zero heap
 //! allocations beyond its arena slot.
+//!
+//! Since PR 9 the notify array is **lock-free**: [`NotifyCells`] is a
+//! fixed-capacity cell array (capacity = the task's out-degree, known from
+//! the graph) whose slots are claimed by `fetch_add` and published with a
+//! `Release` store, plus a CAS-installed overflow chain for the recovery
+//! path's re-registrations. Delivery is arbitrated per slot by a
+//! `key → TAKEN` compare-exchange, so registrant (self-delivery) and
+//! drainer (completion scan) deliver each notification exactly once
+//! without a mutex. See `docs/ALGORITHM.md` "Lock-free notification
+//! (PR 9)" for the protocol and its ordering table. The `locked_notify`
+//! cargo feature swaps in a mutex-based implementation of the same API —
+//! the ablation baseline `bench_pr9` measures against.
 
 use crate::bitvec::AtomicBitVec;
 use crate::fault::Fault;
 use crate::graph::Key;
 use crate::scheduler::engine::Descriptor;
 use ft_sync::atomic::{AtomicBool, AtomicI64, AtomicU8, Ordering};
-use parking_lot::Mutex;
 
-/// Keys stored inline by [`PredList`] and [`NotifyList`] before spilling
+/// Keys stored inline by [`PredList`] and [`NotifyCells`] before spilling
 /// to the heap. Four covers every regular kernel (grid/LCS/LU/strassen
 /// fan-in ≤ 3) and the bulk of random-DAG nodes.
 pub const INLINE_KEYS: usize = 4;
@@ -83,62 +94,315 @@ impl std::ops::Deref for PredList {
     }
 }
 
-/// Append-only successor list ("notifyArray") with inline storage for up
-/// to [`INLINE_KEYS`] keys. Guarded by the descriptor's mutex; readers
-/// access entries by index so the engine can drain it incrementally
-/// without copying a batch out.
-pub struct NotifyList {
-    len: u32,
-    inline: [Key; INLINE_KEYS],
-    /// Entries past the inline capacity, in push order.
-    spill: Vec<Key>,
+/// Outcome of a drainer's [`NotifyCells::take_at`] on one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Take {
+    /// The drainer won the slot's CAS: deliver this successor key.
+    Deliver(Key),
+    /// The slot was claimed but its key is not (yet) visible. The SC-fence
+    /// protocol guarantees the registrant then observes `status ≥ Computed`
+    /// after its own fence and self-delivers — the drainer skips the slot.
+    Delegated,
+    /// The slot was already delivered (by the registrant or an earlier
+    /// scan).
+    Done,
 }
 
-impl NotifyList {
-    /// An empty list (no allocation).
-    pub const fn new() -> Self {
-        NotifyList {
-            len: 0,
-            inline: [0; INLINE_KEYS],
-            spill: Vec::new(),
+/// Slot value of a claimed-but-unpublished cell. `i64::MIN` is never a
+/// task key (the block store reserves it as `RESILIENT_PRODUCER`, and no
+/// graph in the suite issues it).
+const CELL_EMPTY: i64 = i64::MIN;
+/// Slot value after the notification was delivered (by whichever side won
+/// the `key → TAKEN` compare-exchange).
+const CELL_TAKEN: i64 = i64::MIN + 1;
+
+/// Slots per overflow segment. Overflow is reached only by recovery-time
+/// re-registrations (normal operation claims at most `out_degree` slots),
+/// so segments are small.
+#[cfg(not(feature = "locked_notify"))]
+const SEG_SLOTS: usize = 8;
+
+/// One CAS-installed segment of the overflow chain.
+#[cfg(not(feature = "locked_notify"))]
+struct OverflowSeg {
+    /// First global slot index this segment covers.
+    base: usize,
+    slots: [AtomicI64; SEG_SLOTS],
+    next: ft_sync::atomic::AtomicPtr<OverflowSeg>,
+}
+
+#[cfg(not(feature = "locked_notify"))]
+impl OverflowSeg {
+    fn new(base: usize) -> Box<Self> {
+        Box::new(OverflowSeg {
+            base,
+            slots: std::array::from_fn(|_| AtomicI64::new(CELL_EMPTY)),
+            next: ft_sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
+        })
+    }
+}
+
+/// Lock-free successor notification cells ("notifyArray", PR 9).
+///
+/// A registrant (successor `A` registering on predecessor `B`) claims a
+/// slot index with `fetch_add`, publishes its key with a `Release` store,
+/// then — after an SC fence — re-reads `B.status` and self-delivers if
+/// `B` already computed. The drainer (`B`'s `ComputeAndNotify`) publishes
+/// `Computed`, fences, and scans every claimed slot; a `key → TAKEN` CAS
+/// arbitrates so each notification is delivered exactly once. An `EMPTY`
+/// slot at scan time means the registrant's fence is ordered after the
+/// drainer's, so the registrant is guaranteed to see `≥ Computed` and
+/// self-deliver (Dekker argument — see `docs/ALGORITHM.md`).
+///
+/// Capacity covers the task's out-degree: `INLINE_KEYS` cells inline plus
+/// a pre-sized spill. Claims beyond that (recovery re-registration) land
+/// in a CAS-installed overflow chain.
+#[cfg(not(feature = "locked_notify"))]
+pub struct NotifyCells {
+    /// Next free slot index. SeqCst RMW/loads: the drainer's final length
+    /// re-read orders against late claimers (termination argument).
+    claims: ft_sync::atomic::AtomicUsize,
+    /// Cells 0..INLINE_KEYS, stored inline.
+    inline: [AtomicI64; INLINE_KEYS],
+    /// Cells INLINE_KEYS..capacity for out-degrees above INLINE_KEYS;
+    /// empty (no allocation) otherwise.
+    spill: Box<[AtomicI64]>,
+    /// CAS-installed chain for claims past the fixed capacity.
+    overflow: ft_sync::atomic::AtomicPtr<OverflowSeg>,
+}
+
+// SAFETY: the raw overflow pointers only ever reference heap segments
+// installed by a successful CAS (never aliased mutably after publication;
+// every field of a segment is atomic) and are freed exactly once, in
+// `Drop`, when no other thread can hold a reference (the descriptor arena
+// outlives every job of the epoch and drops after quiesce).
+#[cfg(not(feature = "locked_notify"))]
+unsafe impl Send for NotifyCells {}
+// SAFETY: see the `Send` justification above; all shared state is atomic.
+#[cfg(not(feature = "locked_notify"))]
+unsafe impl Sync for NotifyCells {}
+
+#[cfg(not(feature = "locked_notify"))]
+impl NotifyCells {
+    /// Cells with fixed capacity `max(capacity, INLINE_KEYS)`, all empty.
+    pub fn new(capacity: usize) -> Self {
+        let spill: Box<[AtomicI64]> = (INLINE_KEYS..capacity)
+            .map(|_| AtomicI64::new(CELL_EMPTY))
+            .collect();
+        NotifyCells {
+            claims: ft_sync::atomic::AtomicUsize::new(0),
+            inline: std::array::from_fn(|_| AtomicI64::new(CELL_EMPTY)),
+            spill,
+            overflow: ft_sync::atomic::AtomicPtr::new(std::ptr::null_mut()),
         }
     }
 
-    /// Append a successor key.
-    pub fn push(&mut self, key: Key) {
-        let i = self.len as usize;
-        if i < INLINE_KEYS {
-            self.inline[i] = key;
-        } else {
-            self.spill.push(key);
-        }
-        self.len += 1;
+    /// Fixed (inline + spill) capacity before the overflow chain starts.
+    fn fixed_cap(&self) -> usize {
+        INLINE_KEYS + self.spill.len()
     }
 
-    /// Entry `i` (push order). Panics when out of range.
-    pub fn get(&self, i: usize) -> Key {
-        assert!(i < self.len as usize, "notify index {i} out of range");
-        if i < INLINE_KEYS {
-            self.inline[i]
-        } else {
-            self.spill[i - INLINE_KEYS]
+    /// The cell for `slot`, walking (and with `install`, extending) the
+    /// overflow chain for slots past the fixed capacity. Returns `None`
+    /// only when `install` is false and the covering segment is not (yet)
+    /// published — the drainer treats that as [`Take::Delegated`].
+    fn cell(&self, slot: usize, install: bool) -> Option<&AtomicI64> {
+        if slot < INLINE_KEYS {
+            return Some(&self.inline[slot]);
+        }
+        if slot < self.fixed_cap() {
+            return Some(&self.spill[slot - INLINE_KEYS]);
+        }
+        let mut base = self.fixed_cap();
+        let mut link = &self.overflow;
+        loop {
+            // ord: Acquire pairs with the Release CAS install below so the
+            // segment's fields are visible once the pointer is.
+            let mut ptr = link.load(Ordering::Acquire);
+            if ptr.is_null() {
+                if !install {
+                    return None;
+                }
+                let seg = Box::into_raw(OverflowSeg::new(base));
+                // ord: Release publishes the segment's initialized fields;
+                // Acquire on failure sees the winner's segment.
+                match link.compare_exchange(
+                    std::ptr::null_mut(),
+                    seg,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => ptr = seg,
+                    Err(winner) => {
+                        // SAFETY: the CAS failed, so `seg` was never
+                        // published — this thread still uniquely owns it.
+                        drop(unsafe { Box::from_raw(seg) });
+                        ptr = winner;
+                    }
+                }
+            }
+            // SAFETY: non-null chain pointers always reference live
+            // published segments; segments are only freed in `Drop`.
+            let seg = unsafe { &*ptr };
+            debug_assert_eq!(seg.base, base, "overflow chain bases are sequential");
+            if slot < base + SEG_SLOTS {
+                return Some(&seg.slots[slot - base]);
+            }
+            base += SEG_SLOTS;
+            link = &seg.next;
         }
     }
 
-    /// Number of entries.
+    /// Registrant step 1: reserve a slot index.
+    pub fn claim(&self) -> usize {
+        // ord: SeqCst so the drainer's final SeqCst length re-read and this
+        // RMW are totally ordered — a claim the drainer's last read missed
+        // is SC-ordered after the drainer's fence, which forces the
+        // registrant's post-fence status read to observe ≥ Computed.
+        self.claims.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Registrant step 2: publish `key` into the claimed `slot`.
+    pub fn publish(&self, slot: usize, key: Key) {
+        debug_assert!(
+            key > CELL_TAKEN,
+            "task keys must not collide with sentinels"
+        );
+        let cell = self.cell(slot, true).expect("installed above");
+        // ord: Release pairs with the drainer's Acquire scan load.
+        cell.store(key, Ordering::Release);
+    }
+
+    /// Registrant self-delivery arbitration: after observing
+    /// `status ≥ Computed`, atomically take back the own slot. Returns
+    /// `true` iff this registrant won (the drainer did not deliver it).
+    pub fn try_take(&self, slot: usize, key: Key) -> bool {
+        let cell = self.cell(slot, true).expect("installed by publish");
+        // ord: AcqRel — the winner orders its delivery after the publish.
+        cell.compare_exchange(key, CELL_TAKEN, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Drainer scan of one claimed slot.
+    pub fn take_at(&self, slot: usize) -> Take {
+        let Some(cell) = self.cell(slot, false) else {
+            return Take::Delegated;
+        };
+        // ord: Acquire pairs with the registrant's Release publish.
+        match cell.load(Ordering::Acquire) {
+            CELL_EMPTY => Take::Delegated,
+            CELL_TAKEN => Take::Done,
+            key => {
+                // ord: AcqRel — winning the CAS orders the delivery after
+                // the registrant's publish; a loss means the registrant
+                // self-delivered (the only other transition is key→TAKEN).
+                if cell
+                    .compare_exchange(key, CELL_TAKEN, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    Take::Deliver(key)
+                } else {
+                    Take::Done
+                }
+            }
+        }
+    }
+
+    /// Number of claimed slots so far.
     pub fn len(&self) -> usize {
-        self.len as usize
+        // ord: SeqCst — see `claim`; the drainer's termination check relies
+        // on the total order with late claim RMWs.
+        self.claims.load(Ordering::SeqCst)
     }
 
-    /// True when no successor has enqueued itself.
+    /// True when no successor has claimed a slot.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 }
 
-impl Default for NotifyList {
-    fn default() -> Self {
-        Self::new()
+#[cfg(not(feature = "locked_notify"))]
+impl Drop for NotifyCells {
+    fn drop(&mut self) {
+        // ord: Relaxed is enough — `&mut self` proves exclusive access.
+        let mut ptr = self.overflow.load(Ordering::Relaxed);
+        while !ptr.is_null() {
+            // SAFETY: `&mut self` means no other reference exists; each
+            // segment was leaked from a `Box` by exactly one winning CAS
+            // and is freed exactly once here.
+            let seg = unsafe { Box::from_raw(ptr) };
+            // ord: Relaxed — exclusive access, see above.
+            ptr = seg.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// Mutex-based ablation of [`NotifyCells`] (`--features locked_notify`):
+/// the identical claim/publish/take API backed by one lock, so `bench_pr9`
+/// can measure exactly the notification-path contention the lock-free
+/// cells remove, with the engine code byte-identical in both builds.
+#[cfg(feature = "locked_notify")]
+pub struct NotifyCells {
+    slots: parking_lot::Mutex<Vec<i64>>,
+}
+
+#[cfg(feature = "locked_notify")]
+impl NotifyCells {
+    /// Cells with room for `capacity` slots (grown on demand).
+    pub fn new(capacity: usize) -> Self {
+        NotifyCells {
+            slots: parking_lot::Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Registrant step 1: reserve a slot index.
+    pub fn claim(&self) -> usize {
+        let mut g = self.slots.lock();
+        g.push(CELL_EMPTY);
+        g.len() - 1
+    }
+
+    /// Registrant step 2: publish `key` into the claimed `slot`.
+    pub fn publish(&self, slot: usize, key: Key) {
+        debug_assert!(
+            key > CELL_TAKEN,
+            "task keys must not collide with sentinels"
+        );
+        self.slots.lock()[slot] = key;
+    }
+
+    /// Registrant self-delivery arbitration (see the lock-free variant).
+    pub fn try_take(&self, slot: usize, key: Key) -> bool {
+        let mut g = self.slots.lock();
+        if g[slot] == key {
+            g[slot] = CELL_TAKEN;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drainer scan of one claimed slot.
+    pub fn take_at(&self, slot: usize) -> Take {
+        let mut g = self.slots.lock();
+        match g[slot] {
+            CELL_EMPTY => Take::Delegated,
+            CELL_TAKEN => Take::Done,
+            key => {
+                g[slot] = CELL_TAKEN;
+                Take::Deliver(key)
+            }
+        }
+    }
+
+    /// Number of claimed slots so far.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True when no successor has claimed a slot.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -180,20 +444,21 @@ pub struct BaseDesc {
     pub join: AtomicI64,
     /// Execution status.
     pub status: AtomicU8,
-    /// Successors enqueued to be notified when this task computes.
-    pub notify: Mutex<NotifyList>,
+    /// Successor notification cells, sized by the task's out-degree.
+    pub notify: NotifyCells,
 }
 
 impl BaseDesc {
-    /// Create a descriptor with the given ordered predecessor list.
-    pub fn new(key: Key, preds: &[Key]) -> Self {
+    /// Create a descriptor with the given ordered predecessor list and
+    /// notify capacity (the task's out-degree).
+    pub fn new(key: Key, preds: &[Key], out_degree: usize) -> Self {
         let join = preds.len() as i64 + 1;
         BaseDesc {
             key,
             preds: PredList::new(preds),
             join: AtomicI64::new(join),
             status: AtomicU8::new(Status::Visited as u8),
-            notify: Mutex::new(NotifyList::new()),
+            notify: NotifyCells::new(out_degree),
         }
     }
 
@@ -221,7 +486,7 @@ impl Descriptor for BaseDesc {
     fn join(&self) -> &AtomicI64 {
         &self.join
     }
-    fn notify(&self) -> &Mutex<NotifyList> {
+    fn notify_cells(&self) -> &NotifyCells {
         &self.notify
     }
     fn set_status(&self, s: Status) {
@@ -242,8 +507,11 @@ pub struct FtDesc {
     pub join: AtomicI64,
     /// Execution status.
     pub status: AtomicU8,
-    /// Successors awaiting notification.
-    pub notify: Mutex<NotifyList>,
+    /// Successor notification cells, sized by the task's out-degree. A
+    /// recovered incarnation gets a **fresh** descriptor (life+1) and
+    /// therefore fresh cells — the life number doubles as the generation
+    /// tag, so `ResetNode`/`ReinitNotifyEntry` never clear cells in place.
+    pub notify: NotifyCells,
     /// Per-predecessor (plus self) notification bits; Guarantee 3.
     pub bits: AtomicBitVec,
     /// True once a detected soft error has corrupted this descriptor.
@@ -258,9 +526,9 @@ pub struct FtDesc {
 
 impl FtDesc {
     /// Create incarnation `life` of task `key` with the given ordered
-    /// predecessor list. Join counter and bit vector cover `preds` plus the
-    /// self slot.
-    pub fn new(key: Key, life: u64, preds: &[Key]) -> Self {
+    /// predecessor list and notify capacity (the task's out-degree). Join
+    /// counter and bit vector cover `preds` plus the self slot.
+    pub fn new(key: Key, life: u64, preds: &[Key], out_degree: usize) -> Self {
         let n = preds.len();
         FtDesc {
             key,
@@ -268,7 +536,7 @@ impl FtDesc {
             preds: PredList::new(preds),
             join: AtomicI64::new(n as i64 + 1),
             status: AtomicU8::new(Status::Visited as u8),
-            notify: Mutex::new(NotifyList::new()),
+            notify: NotifyCells::new(out_degree),
             bits: AtomicBitVec::new_all_set(n + 1),
             poisoned: AtomicBool::new(false),
             overwritten: AtomicBool::new(false),
@@ -333,7 +601,7 @@ impl Descriptor for FtDesc {
     fn join(&self) -> &AtomicI64 {
         &self.join
     }
-    fn notify(&self) -> &Mutex<NotifyList> {
+    fn notify_cells(&self) -> &NotifyCells {
         &self.notify
     }
     fn set_status(&self, s: Status) {
@@ -347,16 +615,16 @@ mod tests {
 
     #[test]
     fn base_desc_initial_state() {
-        let d = BaseDesc::new(5, &[1, 2, 3]);
+        let d = BaseDesc::new(5, &[1, 2, 3], 2);
         assert_eq!(d.key, 5);
         assert_eq!(d.join.load(Ordering::Relaxed), 4);
         assert_eq!(d.status(), Status::Visited);
-        assert!(d.notify.lock().is_empty());
+        assert!(d.notify.is_empty());
     }
 
     #[test]
     fn ft_desc_initial_state() {
-        let d = FtDesc::new(5, 1, &[1, 2]);
+        let d = FtDesc::new(5, 1, &[1, 2], 2);
         assert_eq!(d.life, 1);
         assert_eq!(d.join.load(Ordering::Relaxed), 3);
         assert_eq!(d.bits.len(), 3);
@@ -377,24 +645,82 @@ mod tests {
     }
 
     #[test]
-    fn notify_list_inline_and_spilled() {
-        let mut n = NotifyList::new();
+    fn notify_cells_claim_publish_take() {
+        let n = NotifyCells::new(2);
         assert!(n.is_empty());
+        // Claim/publish across inline, spill and overflow regions.
         for k in 0..10 {
-            n.push(k);
+            let slot = n.claim();
+            assert_eq!(slot, k as usize);
+            n.publish(slot, 100 + k);
         }
         assert_eq!(n.len(), 10);
         for k in 0..10 {
-            assert_eq!(n.get(k as usize), k);
+            assert_eq!(n.take_at(k as usize), Take::Deliver(100 + k));
+            assert_eq!(n.take_at(k as usize), Take::Done, "exactly-once");
         }
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn notify_list_oob_panics() {
-        let mut n = NotifyList::new();
-        n.push(1);
-        n.get(1);
+    fn notify_cells_claimed_but_unpublished_is_delegated() {
+        let n = NotifyCells::new(1);
+        let slot = n.claim();
+        assert_eq!(n.take_at(slot), Take::Delegated);
+        n.publish(slot, 7);
+        assert_eq!(n.take_at(slot), Take::Deliver(7));
+    }
+
+    #[test]
+    fn notify_cells_registrant_self_delivery_wins_once() {
+        let n = NotifyCells::new(4);
+        let slot = n.claim();
+        n.publish(slot, 42);
+        assert!(n.try_take(slot, 42), "registrant wins the untouched slot");
+        assert!(!n.try_take(slot, 42));
+        assert_eq!(n.take_at(slot), Take::Done, "drainer then finds it taken");
+        // And the reverse order: drainer first, registrant loses.
+        let slot2 = n.claim();
+        n.publish(slot2, 43);
+        assert_eq!(n.take_at(slot2), Take::Deliver(43));
+        assert!(!n.try_take(slot2, 43));
+    }
+
+    #[test]
+    fn notify_cells_overflow_scan_without_install_is_delegated() {
+        // A drainer scanning a slot whose overflow segment is not yet
+        // installed must delegate, not panic.
+        let n = NotifyCells::new(0);
+        for _ in 0..20 {
+            n.claim();
+        }
+        assert_eq!(n.take_at(19), Take::Delegated);
+    }
+
+    #[test]
+    fn notify_cells_concurrent_claims_are_unique_and_all_delivered() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let n = Arc::new(NotifyCells::new(4));
+        std::thread::scope(|s| {
+            for t in 0..8i64 {
+                let n = Arc::clone(&n);
+                s.spawn(move || {
+                    for i in 0..32 {
+                        let slot = n.claim();
+                        n.publish(slot, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(n.len(), 8 * 32);
+        let mut seen = HashSet::new();
+        for slot in 0..n.len() {
+            match n.take_at(slot) {
+                Take::Deliver(k) => assert!(seen.insert(k), "duplicate key {k}"),
+                other => panic!("slot {slot}: expected Deliver, got {other:?}"),
+            }
+        }
+        assert_eq!(seen.len(), 8 * 32);
     }
 
     #[test]
@@ -416,7 +742,7 @@ mod tests {
 
     #[test]
     fn ft_corrupt_status_byte_is_a_descriptor_fault() {
-        let d = FtDesc::new(7, 3, &[1]);
+        let d = FtDesc::new(7, 3, &[1], 1);
         assert_eq!(d.try_status().unwrap(), Status::Visited);
         d.status.store(0xAB, Ordering::Release);
         let err = d.try_status().unwrap_err();
@@ -427,14 +753,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "corrupt status byte")]
     fn base_corrupt_status_byte_panics() {
-        let d = BaseDesc::new(1, &[]);
+        let d = BaseDesc::new(1, &[], 0);
         d.status.store(0xFF, Ordering::Release);
         let _ = d.status();
     }
 
     #[test]
     fn pred_index_including_self() {
-        let d = FtDesc::new(10, 1, &[7, 8, 9]);
+        let d = FtDesc::new(10, 1, &[7, 8, 9], 1);
         assert_eq!(d.pred_index(7), Some(0));
         assert_eq!(d.pred_index(9), Some(2));
         assert_eq!(d.pred_index(10), Some(3), "self slot is last");
@@ -444,7 +770,7 @@ mod tests {
     #[test]
     fn pred_index_with_spilled_preds() {
         let preds: Vec<Key> = (100..108).collect();
-        let d = FtDesc::new(10, 1, &preds);
+        let d = FtDesc::new(10, 1, &preds, 1);
         assert_eq!(d.pred_index(100), Some(0));
         assert_eq!(d.pred_index(107), Some(7));
         assert_eq!(d.pred_index(10), Some(8), "self slot is last");
@@ -453,7 +779,7 @@ mod tests {
 
     #[test]
     fn check_fails_after_poison() {
-        let d = FtDesc::new(3, 2, &[]);
+        let d = FtDesc::new(3, 2, &[], 1);
         d.poisoned.store(true, Ordering::Release);
         let err = d.check().unwrap_err();
         assert_eq!(err.source, 3);
@@ -462,7 +788,7 @@ mod tests {
 
     #[test]
     fn reset_restores_join_and_bits() {
-        let d = FtDesc::new(1, 1, &[2, 3]);
+        let d = FtDesc::new(1, 1, &[2, 3], 1);
         assert!(d.bits.unset(0));
         assert!(d.bits.unset(2));
         d.join.store(0, Ordering::Relaxed);
@@ -474,7 +800,7 @@ mod tests {
     #[test]
     fn source_task_has_join_one() {
         // A source (no preds) still needs the self-notification to fire.
-        let d = FtDesc::new(0, 1, &[]);
+        let d = FtDesc::new(0, 1, &[], 1);
         assert_eq!(d.join.load(Ordering::Relaxed), 1);
         assert_eq!(d.pred_index(0), Some(0));
     }

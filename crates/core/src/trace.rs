@@ -181,12 +181,18 @@ impl Trace {
     }
 
     /// All events, in the total order of emission (by sequence number).
+    ///
+    /// Allocates exactly once: shard lengths are summed first, then each
+    /// shard is copied into the pre-sized buffer under its own lock (no
+    /// per-shard intermediate `Vec`s). Events recorded concurrently with
+    /// the two passes may or may not appear — same snapshot semantics as
+    /// before — and the buffer only grows if a shard grew in between.
     pub fn events(&self) -> Vec<TimedEvent> {
-        let mut all: Vec<TimedEvent> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.lock().iter().copied().collect::<Vec<_>>())
-            .collect();
+        let total: usize = self.shards.iter().map(|s| s.lock().len()).sum();
+        let mut all: Vec<TimedEvent> = Vec::with_capacity(total);
+        for s in &self.shards {
+            all.extend_from_slice(&s.lock());
+        }
         all.sort_by_key(|e| e.seq);
         all
     }
@@ -278,6 +284,25 @@ mod tests {
         });
         assert_eq!(t.len(), 400);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn events_allocates_exactly_once() {
+        let t = Trace::new();
+        // Spread events across every shard, unevenly.
+        for w in 0..(SHARDS * 3) {
+            t.record_from(Some(w % SHARDS), Event::Inserted { key: w as Key });
+        }
+        t.record_from(Some(0), Event::Computed { key: 0, life: 1 });
+        let evs = t.events();
+        assert_eq!(evs.len(), SHARDS * 3 + 1);
+        assert_eq!(
+            evs.capacity(),
+            evs.len(),
+            "events() must pre-size from the summed shard lengths, \
+             not grow through per-shard collects"
+        );
+        assert!(evs.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //! * **G4 — the notify array is reconstructed on recovery.** Consequence
 //!   checked: in a run whose sink completed, every inserted task reaches
 //!   `Completed` at its final incarnation, and every `Completed` has a
-//!   matching earlier `Computed` of the same incarnation.
+//!   matching earlier `Computed` of the same incarnation. Conversely, a run
+//!   that *quiesced without completing its sink* lost a notification
+//!   somewhere (tasks stranded mid-graph) and is flagged outright — this is
+//!   the symptom a dropped notify-cell publish produces (PR 9).
 //! * **G5 — a task whose input failed is reset and re-explored.** Every
 //!   `Reset { key, … }` is preceded by a `FaultObserved` whose source is
 //!   *another* task (the failed input).
@@ -329,6 +332,20 @@ pub fn check_trace(
         if !inserted.contains(&sink) {
             push("report", format!("sink {sink} never inserted"));
         }
+    } else {
+        // The run returned (the pool quiesced: no task left running, no
+        // pending work) yet the sink never completed. Some notification
+        // was lost — the exact failure a broken notify-cell publish
+        // produces (PR 9) — or the graph wedged some other way. A
+        // correctly reconstructed notify array (G4) makes this impossible.
+        push(
+            "G4",
+            format!(
+                "run quiesced but sink {} never completed: a notification \
+                 was lost (tasks stranded mid-graph)",
+                graph.sink()
+            ),
+        );
     }
 
     // Report cross-checks: counters must equal what the trace shows.
@@ -725,6 +742,16 @@ mod tests {
         ));
         let v = check_trace(&Chain, &t, &matching_report(), OracleMode::Concurrent);
         assert!(v.iter().any(|v| v.guarantee == "G6"), "got {v:?}");
+    }
+
+    #[test]
+    fn quiesced_incomplete_run_is_g4() {
+        // The trace itself is internally consistent, but the run returned
+        // without completing the sink: a notification was lost.
+        let mut r = matching_report();
+        r.sink_completed = false;
+        let v = check_trace(&Chain, &clean_chain_trace(), &r, OracleMode::Strict);
+        assert!(v.iter().any(|v| v.guarantee == "G4"), "got {v:?}");
     }
 
     #[test]

@@ -96,6 +96,12 @@ impl TaskGraph for Grid {
         }
         s
     }
+    fn out_degree(&self, k: Key) -> usize {
+        // Counted directly: descriptor creation sizes its notify cells
+        // without materializing the successor list.
+        let (i, j) = (k / self.n, k % self.n);
+        usize::from(i + 1 < self.n) + usize::from(j + 1 < self.n)
+    }
     fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
         Ok(())
     }
@@ -132,6 +138,7 @@ fn run_ft(n: i64) -> u64 {
 }
 
 /// Marginal allocations per task between a 16×16 and a 32×32 grid.
+#[cfg_attr(feature = "locked_notify", allow(dead_code))]
 fn marginal_per_task(run: fn(i64) -> u64) -> f64 {
     let small = run(16);
     let large = run(32);
@@ -160,25 +167,148 @@ fn traversal_allocations_are_deterministic_and_bounded() {
     );
     assert_eq!(run_ft(16), run_ft(16), "ft not deterministic");
 
-    // Per-task budget. Since the PR-8 arena/inline-job rework (epoch slab
-    // descriptors, inline 64-byte spawn cells, PredList/NotifyList/bitvec
-    // small-buffer inlining, scratch-filled predecessor lists, indexed
-    // notify drain) the only surviving per-task allocation is the task
-    // map's value box — the price of lock-free seqlock reads, since values
-    // must live behind stable pointers. Measured: baseline ≈ 1.03
-    // allocs/task, FT ≈ 1.03 (the ~0.03 is arena chunks at one per ~300
-    // descriptors plus det-queue doubling). Any new per-task allocation
-    // costs ≥ +1.0, so a 1.3 budget pins the hot path at exactly one
-    // allocation per task while tolerating chunk-granularity drift.
-    let base = marginal_per_task(run_baseline);
-    let ft = marginal_per_task(run_ft);
+    // Per-task budget, re-pinned for PR 9. The PR-8 arena/inline-job
+    // rework (epoch slab descriptors, inline 64-byte spawn cells,
+    // PredList/bitvec small-buffer inlining, scratch-filled predecessor
+    // lists) left the task map's value box as the only per-task
+    // allocation, and the PR-9 lock-free notify cells keep it that way:
+    // for out-degree ≤ INLINE_KEYS the cells are fully inline (no mutex,
+    // no list, no spill), and the drain is a slot scan, not a copy.
+    // Measured: baseline = 1.0273 allocs/task, FT = 1.0273 (the ~0.03 is
+    // arena chunks at one per ~300 descriptors plus det-queue doubling).
+    // Any new per-task allocation costs ≥ +1.0; 1.15 pins the hot path at
+    // exactly one allocation per task with chunk-granularity headroom.
+    // The `locked_notify` ablation deliberately reintroduces a per-task
+    // allocation (the mutexed notify list's Vec), so the one-alloc budget
+    // only holds for the real configuration.
+    #[cfg(not(feature = "locked_notify"))]
+    {
+        let base = marginal_per_task(run_baseline);
+        let ft = marginal_per_task(run_ft);
+        assert!(
+            base < 1.15,
+            "baseline traversal allocates {base:.2}/task — hot-path allocation crept in"
+        );
+        assert!(
+            ft < 1.15,
+            "ft traversal allocates {ft:.2}/task — hot-path allocation crept in"
+        );
+    }
+}
+
+/// Deterministic fan-out-heavy layered random DAG: `layers × width` nodes
+/// plus a sink over the last layer; an edge links layer-(l−1) node `i` to
+/// layer-l node `j` when a hash of `(l, i, j)` clears a threshold (~50%
+/// density), so mean fan-in/fan-out is `width / 2` — far past the inline
+/// capacity of every descriptor small-buffer. Predecessors and successors
+/// derive from the same hash, so the graph is consistent and needs no
+/// stored adjacency.
+struct FanDag {
+    layers: i64,
+    width: i64,
+}
+
+impl FanDag {
+    fn edge(&self, l: i64, i: i64, j: i64) -> bool {
+        // splitmix-style avalanche, allocation-free and deterministic.
+        let mut x = (l as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((j as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x & 1 == 0
+    }
+    fn node(&self, l: i64, i: i64) -> Key {
+        l * self.width + i
+    }
+}
+
+impl TaskGraph for FanDag {
+    fn sink(&self) -> Key {
+        self.layers * self.width
+    }
+    fn predecessors(&self, k: Key) -> Vec<Key> {
+        let mut p = Vec::new();
+        self.predecessors_into(k, &mut p);
+        p
+    }
+    fn predecessors_into(&self, k: Key, out: &mut Vec<Key>) {
+        out.clear();
+        if k == self.sink() {
+            out.extend((0..self.width).map(|i| self.node(self.layers - 1, i)));
+            return;
+        }
+        let (l, j) = (k / self.width, k % self.width);
+        if l == 0 {
+            return;
+        }
+        out.extend(
+            (0..self.width)
+                .filter(|&i| self.edge(l, i, j))
+                .map(|i| self.node(l - 1, i)),
+        );
+    }
+    fn successors(&self, k: Key) -> Vec<Key> {
+        if k == self.sink() {
+            return Vec::new();
+        }
+        let (l, i) = (k / self.width, k % self.width);
+        if l == self.layers - 1 {
+            return vec![self.sink()];
+        }
+        (0..self.width)
+            .filter(|&j| self.edge(l + 1, i, j))
+            .map(|j| self.node(l + 1, j))
+            .collect()
+    }
+    fn out_degree(&self, k: Key) -> usize {
+        if k == self.sink() {
+            return 0;
+        }
+        let (l, i) = (k / self.width, k % self.width);
+        if l == self.layers - 1 {
+            return 1;
+        }
+        (0..self.width).filter(|&j| self.edge(l + 1, i, j)).count()
+    }
+    fn compute(&self, _k: Key, _ctx: &ComputeCtx<'_>) -> Result<(), Fault> {
+        Ok(())
+    }
+}
+
+/// PR-9 satellite: the fan-out-heavy steady state. Wide nodes legitimately
+/// spill their fixed-size small buffers (one `PredList` box past
+/// `INLINE_KEYS` predecessors, one notify-cell spill box past
+/// `INLINE_KEYS` successors), so the marginal budget here is the map's
+/// value box plus those two — and **nothing else**: no per-edge
+/// allocation, no notify-drain copy, no overflow segments (normal
+/// operation never claims past the out-degree capacity).
+#[test]
+fn fanout_traversal_allocations_are_deterministic_and_bounded() {
+    let _serial = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run_ft_dag = |layers: i64| -> u64 {
+        count_allocs(|| {
+            let pool = DetPool::new(11);
+            let g: Arc<dyn TaskGraph> = Arc::new(FanDag { layers, width: 24 });
+            let r = FtScheduler::new(g).run(&pool);
+            assert!(r.sink_completed);
+        })
+    };
+    for l in [4, 8] {
+        run_ft_dag(l);
+    }
+    assert_eq!(run_ft_dag(4), run_ft_dag(4), "ft randdag not deterministic");
+    let (small, large) = (run_ft_dag(4), run_ft_dag(8));
+    let marginal = (large - small) as f64 / (4.0 * 24.0);
+    // Map value box (1.0) + PredList spill (≤1.0) + notify spill (≤1.0)
+    // + arena-chunk/queue-doubling drift. A per-*edge* allocation would
+    // cost ≈ width/2 = +12/task, far past the budget.
     assert!(
-        base < 1.3,
-        "baseline traversal allocates {base:.2}/task — hot-path allocation crept in"
-    );
-    assert!(
-        ft < 1.3,
-        "ft traversal allocates {ft:.2}/task — hot-path allocation crept in"
+        marginal < 3.5,
+        "fan-out traversal allocates {marginal:.2}/task — \
+         beyond map box + two wide-node spill buffers"
     );
 }
 
@@ -268,10 +398,14 @@ fn pool_steady_state_allocates_nothing() {
     let pool = Pool::new(PoolConfig::with_threads(2));
     let hits = Arc::new(AtomicU64::new(0));
 
-    // One round: the root fans out 32 jobs through the injector; each
-    // fanned job spawns one child from its worker (own-deque push), so the
-    // round exercises external submission, batch stealing, worker-local
-    // push/pop and the quiescence latch.
+    // One round, two shapes. First the original mix: the root fans out 32
+    // jobs through the injector; each fanned job spawns one child from
+    // its worker (own-deque push), so the round exercises external
+    // submission, batch stealing, worker-local push/pop and the
+    // quiescence latch. Then a fan-out-heavy randdag-style burst (PR 9):
+    // 8 wide nodes each spawning 6 children — the spawn profile of a
+    // wide-layer random DAG's notify drain, where one completing task
+    // makes many successors ready at once.
     let round = |pool: &Pool, hits: &Arc<AtomicU64>| {
         let h = Arc::clone(hits);
         pool.execute_job(Job::new(move |s| {
@@ -282,6 +416,21 @@ fn pool_steady_state_allocates_nothing() {
                     s.spawn(move |_| {
                         h3.fetch_add(1, Ordering::Relaxed);
                     });
+                    h2.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }));
+        let h = Arc::clone(hits);
+        pool.execute_job(Job::new(move |s| {
+            for _ in 0..8 {
+                let h2 = Arc::clone(&h);
+                s.spawn(move |s| {
+                    for _ in 0..6 {
+                        let h3 = Arc::clone(&h2);
+                        s.spawn(move |_| {
+                            h3.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
                     h2.fetch_add(1, Ordering::Relaxed);
                 });
             }
@@ -303,7 +452,8 @@ fn pool_steady_state_allocates_nothing() {
             round(&pool, &hits);
         }
     });
-    assert_eq!(hits.load(Ordering::Relaxed), rounds * 64);
+    // 32 parents + 32 children + 8 wide nodes + 48 fan-out children.
+    assert_eq!(hits.load(Ordering::Relaxed), rounds * 120);
     assert_eq!(
         allocs, 0,
         "pool allocated {allocs} times across {rounds} warmed rounds — \

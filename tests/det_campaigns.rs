@@ -427,6 +427,75 @@ fn broken_inline_chain_is_caught_by_oracle() {
     }
 }
 
+/// Mutation test for the PR-9 lock-free notify cells: drop a single
+/// Release publish (the sabotaged registrant claims its slot but never
+/// stores its key, and skips the self-delivery fallback too). The drain
+/// scan sees an empty cell and skips it, so one notification is lost and
+/// the successor's join counter never reaches zero: the run quiesces with
+/// tasks stranded mid-graph and the sink incomplete, which the oracle
+/// flags as a G4 violation. The same campaign with the publish intact
+/// must be clean, so the detection is the oracle's doing, not noise.
+///
+/// The campaign runs **fault-free**: an injected fault on the affected
+/// predecessor would replace it and rebuild its notify cells
+/// (`ReinitNotifyEntry`), re-registering the stranded successor and
+/// thereby *masking* the dropped publish — recovery repairing exactly
+/// this damage is Guarantee 4 working as designed, not a missed bug.
+#[test]
+fn broken_notify_cell_is_caught_by_oracle() {
+    const SEEDS: u64 = 96;
+
+    let mut caught = 0u64;
+    for seed in 0..SEEDS {
+        let g = Arc::new(Grid { n: 3 });
+        let plan = Arc::new(FaultPlan::none());
+        let trace = Arc::new(Trace::new());
+        let sched = FtScheduler::with_plan_traced(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            Arc::clone(&trace),
+        );
+        sched.sabotage_notify_cell();
+        let report = sched.run(&DetPool::new(seed));
+        // Do NOT assert sink_completed here — the whole point is that the
+        // sabotaged run strands the graph.
+        let violations = oracle_violations(g.as_ref(), &trace, &report, OracleMode::Strict);
+        if violations
+            .iter()
+            .any(|v| v.guarantee == "G4" || v.guarantee == "G3")
+        {
+            caught += 1;
+        }
+    }
+    assert_eq!(
+        caught, SEEDS,
+        "dropped notify-cell publish must strand the graph under every \
+         schedule — the oracle would miss a lost notification"
+    );
+
+    // Control: the intact scheduler is clean on every one of those seeds.
+    for seed in 0..SEEDS {
+        let g = Arc::new(Grid { n: 3 });
+        let plan = Arc::new(FaultPlan::none());
+        let (_, trace, report) = det_traced_run(
+            Arc::clone(&g) as Arc<dyn TaskGraph>,
+            Arc::clone(&plan),
+            seed,
+        );
+        assert!(report.sink_completed);
+        assert_oracle_clean(
+            "notify-cell-mutation-control-grid3",
+            seed,
+            &plan,
+            g.as_ref(),
+            &trace,
+            &report,
+            OracleMode::Strict,
+            Vec::new(),
+        );
+    }
+}
+
 /// Guarantee 6 at the integration level: sites with `fires = 3` fail the
 /// original incarnation and its first two recoveries; every incarnation's
 /// failure is recovered with a strictly increasing life number.

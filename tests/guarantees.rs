@@ -173,7 +173,7 @@ fn g3_ablation_bit_vector_prevents_premature_readiness() {
     const Q: Key = 11;
 
     // FT descriptor: second notification from P is absorbed.
-    let a = FtDesc::new(1, 1, &[P, Q]);
+    let a = FtDesc::new(1, 1, &[P, Q], 1);
     let notify = |pkey: Key| -> bool {
         let ind = a.pred_index(pkey).unwrap();
         if a.bits.unset(ind) {
@@ -191,7 +191,7 @@ fn g3_ablation_bit_vector_prevents_premature_readiness() {
     // Baseline descriptor (no bit vector): the same replay would fire A
     // prematurely — which is why the baseline scheduler cannot tolerate
     // re-notification and the FT scheduler needs Guarantee 3.
-    let b = BaseDesc::new(1, &[P, Q]);
+    let b = BaseDesc::new(1, &[P, Q], 1);
     let raw_notify = || b.join.fetch_sub(1, O::AcqRel) - 1 == 0;
     assert!(!raw_notify()); // self
     assert!(!raw_notify()); // P
