@@ -144,6 +144,7 @@ impl<V: Clone> Shard<V> {
         // ord: Release fence — the odd sequence must be visible before any
         // mutation store; pairs with the readers' Acquire fence/loads in
         // `try_read`.
+        // sc: seqlock/writer-begin
         fence(Ordering::Release);
     }
 
@@ -155,6 +156,8 @@ impl<V: Clone> Shard<V> {
         // sequence; pairs with the readers' s1 Acquire load in `try_read`.
         self.seq.store(s.wrapping_add(1), Ordering::Release);
     }
+
+    // ft-lint: hot-path begin(map-read)
 
     /// One optimistic, lock-free probe: read the published table, probe,
     /// then validate that no writer interfered.
@@ -197,6 +200,7 @@ impl<V: Clone> Shard<V> {
         // ord: Acquire fence + Relaxed load — the probe loads must complete
         // before the validating sequence load; the fence upgrades the
         // Relaxed load so it cannot be reordered before the probe.
+        // sc: seqlock/reader-validate
         fence(Ordering::Acquire);
         let s2 = self.seq.load(Ordering::Relaxed);
         if s1 == s2 {
@@ -213,10 +217,14 @@ impl<V: Clone> Shard<V> {
             match self.try_read(key) {
                 // SAFETY: a validated pointer is live (boxes are retired,
                 // not freed) and its pointee is never mutated in place.
+                // ft-lint: allow(L9) the map stores values by value; a
+                // validated read must copy out before the box is retired.
                 Probe::Valid(found) => return found.map(|p| unsafe { (*p).clone() }),
                 Probe::Interference => std::hint::spin_loop(),
             }
         }
+        // ft-lint: allow(L9) anti-starvation fallback: taken only after
+        // OPTIMISTIC_TRIES failed validations under a write storm.
         let _guard = self.writer.lock();
         // SAFETY: the writer lock is held, so the table pointer is stable
         // and dereferenceable (tables are only swapped under this lock).
@@ -227,8 +235,11 @@ impl<V: Clone> Shard<V> {
             // SAFETY: `probe_locked` returned an occupied slot and the lock
             // blocks any writer from displacing its value box.
             // ord: Relaxed — lock-serialized; see above.
+            // ft-lint: allow(L9) value copy-out, same as the lock-free arm.
             .map(|i| unsafe { (*t.slots[i].val.load(Ordering::Relaxed)).clone() })
     }
+
+    // ft-lint: hot-path end(map-read)
 
     /// Probe under the writer lock. Returns the slot index of `key`.
     fn probe_locked(&self, t: &Table<V>, key: i64) -> Option<usize> {

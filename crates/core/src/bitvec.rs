@@ -86,6 +86,9 @@ impl AtomicBitVec {
     pub fn unset(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % 64);
+        // ord: AcqRel — winning the unset must both observe the reset
+        // that set the bit (Acquire) and order the caller's subsequent
+        // join decrement after it (Release).
         let prev = self.word(i / 64).fetch_and(!mask, Ordering::AcqRel);
         prev & mask != 0
     }
@@ -93,12 +96,16 @@ impl AtomicBitVec {
     /// Read bit `i` (used by `ReinitNotifyEntry`: "if S.bitVector[ind]==1").
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        // ord: Acquire — pairs with set_all's Release so a reader that
+        // sees a restored bit also sees the reset that restored it.
         self.word(i / 64).load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
     }
 
     /// `SetAllBits`: restore every bit to 1 (used by `ResetNode`).
     pub fn set_all(&self) {
         for w in 0..self.nwords() {
+            // ord: Release — publishes the reset to get()'s Acquire
+            // loads before the node is re-armed.
             self.word(w)
                 .store(full_mask(self.len, w), Ordering::Release);
         }
@@ -107,6 +114,7 @@ impl AtomicBitVec {
     /// Number of set bits (diagnostics).
     pub fn count_set(&self) -> usize {
         (0..self.nwords())
+            // ord: Acquire — diagnostics read the freshest published words.
             .map(|w| self.word(w).load(Ordering::Acquire).count_ones() as usize)
             .sum()
     }

@@ -265,6 +265,7 @@ impl<T: Send> BlockStore<T> {
         let recovery_resident =
             !is_new_latest && !matches!(cur.find(version), Some(s) if s.data.is_some());
         if !is_new_latest {
+            // ord: Relaxed — statistics counter, read at quiescence.
             self.republishes.fetch_add(1, Ordering::Relaxed);
         }
         let mut slots = cur.slots.clone();
@@ -294,6 +295,7 @@ impl<T: Send> BlockStore<T> {
                             // Tombstone: drop the payload, keep producer
                             // attribution for Overwritten errors.
                             s.data = None;
+                            // ord: Relaxed — statistics counter.
                             self.evictions.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -335,6 +337,8 @@ impl<T: Send> BlockStore<T> {
             blk.latest.store(version + 1, Ordering::Release);
         }
     }
+
+    // ft-lint: hot-path begin(block-read)
 
     /// Read version `version` of `block`. Fails with the producing task if
     /// the version is poisoned or was evicted. **Wait-free**: never blocks
@@ -385,6 +389,8 @@ impl<T: Send> BlockStore<T> {
         }
     }
 
+    // ft-lint: hot-path end(block-read)
+
     /// Poison version `version` of `block` (fault injection). Pinned
     /// versions are resilient and ignore poisoning. Returns true if a
     /// resident version was poisoned.
@@ -417,11 +423,13 @@ impl<T: Send> BlockStore<T> {
 
     /// Total evictions performed (memory-reuse overwrites).
     pub fn evictions(&self) -> u64 {
+        // ord: Relaxed — statistics read at quiescence.
         self.evictions.load(Ordering::Relaxed)
     }
 
     /// Total recovery republishes of old versions.
     pub fn republishes(&self) -> u64 {
+        // ord: Relaxed — statistics read at quiescence.
         self.republishes.load(Ordering::Relaxed)
     }
 

@@ -123,11 +123,17 @@ impl FaultPlan {
             return false;
         }
         // Atomically consume one fire if any remain.
+        // ord: Relaxed read seeding the CAS loop; AcqRel on success so a
+        // consumed budget is ordered against the fault it triggers, Relaxed
+        // on failure/stat-bump — the budget is the only coupling and the
+        // sabotage path never reads other shared state through it.
         let mut cur = site.remaining.load(Ordering::Relaxed);
         loop {
             if cur == 0 {
                 return false;
             }
+            // ord: AcqRel success — the consumed budget orders against
+            // the fault it triggers; Relaxed failure — just reseed.
             match site.remaining.compare_exchange_weak(
                 cur,
                 cur - 1,
@@ -135,6 +141,7 @@ impl FaultPlan {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    // ord: Relaxed — statistics counter.
                     site.fired.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
@@ -168,6 +175,7 @@ impl FaultPlan {
     pub fn fired(&self) -> u64 {
         self.sites
             .values()
+            // ord: Relaxed — statistics read after the run quiesces.
             .map(|s| s.fired.load(Ordering::Relaxed))
             .sum()
     }
@@ -180,6 +188,7 @@ impl FaultPlan {
         let mut v: Vec<Key> = self
             .sites
             .iter()
+            // ord: Relaxed — diagnostics read after the run quiesces.
             .filter(|(_, s)| s.fired.load(Ordering::Relaxed) == 0)
             .map(|(&k, _)| k)
             .collect();
@@ -193,6 +202,7 @@ impl FaultPlan {
     pub fn is_exhausted(&self) -> bool {
         self.sites
             .values()
+            // ord: Relaxed — diagnostics read after the run quiesces.
             .all(|s| s.remaining.load(Ordering::Relaxed) == 0)
     }
 }

@@ -52,11 +52,13 @@ impl ShardedCounter {
     #[inline]
     pub fn add(&self, worker: Option<usize>) {
         let lane = worker.map_or(COUNTER_LANES - 1, |w| w % COUNTER_LANES);
+        // ord: Relaxed — per-lane statistics counter, summed at quiescence.
         self.lanes[lane].0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Sum of all lanes.
     pub fn load(&self) -> u64 {
+        // ord: Relaxed — statistics read at quiescence.
         self.lanes.iter().map(|l| l.0.load(Ordering::Relaxed)).sum()
     }
 }
@@ -105,6 +107,7 @@ impl RunMetrics {
     /// Record one successful compute of `key`; returns the execution count
     /// N(key) *after* this execution.
     pub fn record_compute(&self, key: i64) -> u64 {
+        // ord: Relaxed — statistics counter.
         self.computes.fetch_add(1, Ordering::Relaxed);
         self.exec_counts.update_cas(key, |cur| {
             let n = cur.copied().unwrap_or(0) + 1;
@@ -119,6 +122,9 @@ impl RunMetrics {
         let total: u64 = exec.iter().map(|(_, n)| n).sum();
         let max_n = exec.iter().map(|&(_, n)| n).max().unwrap_or(0);
         RunReport {
+            // ord: Relaxed throughout — snapshot of statistics counters
+            // taken after the run quiesces; no cross-field ordering is
+            // implied.
             computes: self.computes.load(Ordering::Relaxed),
             compute_faults: self.compute_faults.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),

@@ -451,6 +451,7 @@ impl<P: FtPolicy> Engine<P> {
     /// `≥ Computed` and the registrant self-delivers; conversely a
     /// registrant that reads `< Computed` has its fence first, so the
     /// drainer's scan observes the published key.
+    // ft-lint: hot-path begin(notify)
     pub(super) fn register_notify(&self, b: &P::Desc, key: Key) -> Result<bool, P::Err> {
         let cells = b.notify_cells();
         let slot = cells.claim();
@@ -463,6 +464,7 @@ impl<P: FtPolicy> Engine<P> {
         cells.publish(slot, key);
         // ord: SeqCst fence — Dekker pairing with the drainer's fence after
         // its `Computed` store (see `compute_and_notify_step`).
+        // sc: notify-cells/registrant
         fence(Ordering::SeqCst);
         if P::read_status(b)? >= Status::Computed {
             return Ok(cells.try_take(slot, key));
@@ -497,6 +499,10 @@ impl<P: FtPolicy> Engine<P> {
                     pred: pkey,
                 },
             );
+            // ord: AcqRel — the decrement that releases this task's
+            // contribution must publish its compute (Release) and the
+            // winner that observes zero must see every predecessor's
+            // writes (Acquire).
             let val = a.join().fetch_sub(1, Ordering::AcqRel) - 1;
             debug_assert!(
                 val >= 0 || self.policy.join_underflow_ok(),
@@ -583,6 +589,7 @@ impl<P: FtPolicy> Engine<P> {
             // fence after its cell publish (see `register_notify`): every
             // registration this scan misses is guaranteed to observe
             // `≥ Computed` and self-deliver.
+            // sc: notify-cells/drainer
             fence(Ordering::SeqCst);
 
             let cells = a.notify_cells();
@@ -663,6 +670,8 @@ impl<P: FtPolicy> Engine<P> {
                     pred: key,
                 },
             );
+            // ord: AcqRel — same join-counter contract as above: the
+            // observer of zero acquires every predecessor's compute.
             sd.join().fetch_sub(1, Ordering::AcqRel) - 1 == 0
         } else {
             self.notify_gate(s, sd, skey, key, slife)
@@ -686,4 +695,5 @@ impl<P: FtPolicy> Engine<P> {
             s.spawn_with(prio, move |s| this.compute_and_notify(s, sd, skey, slife));
         }
     }
+    // ft-lint: hot-path end(notify)
 }

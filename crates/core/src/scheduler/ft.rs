@@ -97,6 +97,8 @@ impl FtPolicy for FtRecovery {
 
     fn check_dependable(b: &FtDesc) -> Result<(), Fault> {
         b.check()?;
+        // ord: Acquire — observing the overwrite flag must also see the
+        // recovery writes that set it, so the fault report is coherent.
         if b.overwritten.load(Ordering::Acquire) {
             // "if (B.overwritten) throw"
             return Err(Fault {
@@ -120,6 +122,8 @@ impl FtPolicy for FtRecovery {
         let ind = a
             .pred_index(pkey)
             .ok_or_else(|| Fault::descriptor(key, life))?;
+        // ord: Relaxed — sabotage flags are test-campaign switches set
+        // before the run starts; no data is published through them.
         let sabotaged = engine.policy.sabotage_notify.load(Ordering::Relaxed);
         if a.bits.unset(ind) || sabotaged {
             Ok(true)
@@ -140,23 +144,29 @@ impl FtPolicy for FtRecovery {
 
     #[inline]
     fn join_underflow_ok(&self) -> bool {
+        // ord: Relaxed — mutation-testing switches set before the run.
         self.sabotage_notify.load(Ordering::Relaxed) || self.sabotage_chain.load(Ordering::Relaxed)
     }
 
     #[inline]
     fn sabotage_chain(&self) -> bool {
+        // ord: Relaxed — mutation-testing switch set before the run.
         self.sabotage_chain.load(Ordering::Relaxed)
     }
 
     #[inline]
     fn sabotage_cell(&self) -> bool {
         // One-shot: exactly one registration loses its publish.
+        // ord: Relaxed — single mutation-testing flag; the swap only
+        // guarantees at-most-one winner, no data is released through it.
         self.sabotage_cell.load(Ordering::Relaxed)
             && self.sabotage_cell.swap(false, Ordering::Relaxed)
     }
 
     #[inline]
     fn is_recovery_exec(d: &FtDesc) -> bool {
+        // ord: Relaxed — set before the recovery descriptor is published
+        // to the scheduler; readers piggyback on that Release edge.
         d.is_recovery.load(Ordering::Relaxed)
     }
 
@@ -167,11 +177,13 @@ impl FtPolicy for FtRecovery {
     }
 
     fn compute_error(engine: &Engine<Self>, f: Fault) -> Fault {
+        // ord: Relaxed — statistics counters read at quiescence.
         engine
             .metrics
             .compute_faults
             .fetch_add(1, Ordering::Relaxed);
         if f.kind == FaultKind::Overwritten {
+            // ord: Relaxed — statistics counter read at quiescence.
             engine
                 .metrics
                 .overwrite_faults
@@ -218,6 +230,8 @@ impl FtPolicy for FtRecovery {
             let src_life = match engine.get_task(f.source) {
                 Some((src, sl)) => {
                     match f.kind {
+                        // ord: Release — publishes the fault verdict so a
+                        // dependent's Acquire check sees why it failed.
                         FaultKind::Overwritten => src.overwritten.store(true, Ordering::Release),
                         _ => src.poisoned.store(true, Ordering::Release),
                     }
@@ -273,6 +287,7 @@ impl Engine<FtRecovery> {
     /// G3 violation; see `tests/det_campaigns.rs`.
     #[doc(hidden)]
     pub fn sabotage_notify_bitvec(&self) {
+        // ord: Relaxed — mutation-testing switch armed before the run.
         self.policy.sabotage_notify.store(true, Ordering::Relaxed);
     }
 
@@ -285,6 +300,7 @@ impl Engine<FtRecovery> {
     /// violation; see `tests/det_campaigns.rs`.
     #[doc(hidden)]
     pub fn sabotage_inline_chain(&self) {
+        // ord: Relaxed — mutation-testing switch armed before the run.
         self.policy.sabotage_chain.store(true, Ordering::Relaxed);
     }
 
@@ -298,6 +314,7 @@ impl Engine<FtRecovery> {
     /// violation; see `tests/det_campaigns.rs`.
     #[doc(hidden)]
     pub fn sabotage_notify_cell(&self) {
+        // ord: Relaxed — mutation-testing switch armed before the run.
         self.policy.sabotage_cell.store(true, Ordering::Relaxed);
     }
 
@@ -315,8 +332,11 @@ impl Engine<FtRecovery> {
     /// Poison a task: descriptor flag plus every output block version ("a
     /// fault affects both a task and the data blocks it has computed").
     pub(super) fn poison_task(&self, desc: &FtDesc, phase: Phase, worker: Option<usize>) {
+        // ord: Release — the poison flag must publish after the injected
+        // fault's effects so dependents observe a consistent error state.
         desc.poisoned.store(true, Ordering::Release);
         self.graph.poison_outputs(desc.key);
+        // ord: Relaxed — statistics counter read at quiescence.
         self.metrics.injected.fetch_add(1, Ordering::Relaxed);
         self.policy.emit(
             worker,

@@ -32,6 +32,7 @@ impl Engine<FtRecovery> {
         if !self.is_recovering(key, life) {
             self.recover_task(s, key);
         } else {
+            // ord: Relaxed — statistics counter read at quiescence.
             self.metrics
                 .recoveries_suppressed
                 .fetch_add(1, Ordering::Relaxed);
@@ -80,8 +81,11 @@ impl Engine<FtRecovery> {
     /// failure.
     pub(super) fn recover_task(self: &Arc<Self>, s: &Scope<'_>, key: Key) {
         loop {
+            // ord: Relaxed — statistics counter read at quiescence.
             self.metrics.recoveries.fetch_add(1, Ordering::Relaxed);
             let (t, life) = self.replace_task(key);
+            // ord: Release — the recovery mark must be visible to whoever
+            // acquires the replacement descriptor via the block table.
             t.is_recovery.store(true, Ordering::Release);
             self.policy.emit(
                 s.worker_index(),
@@ -125,6 +129,7 @@ impl Engine<FtRecovery> {
                         },
                     );
                     if self.is_recovering(key, life) {
+                        // ord: Relaxed — statistics counter read at quiescence.
                         self.metrics
                             .recoveries_suppressed
                             .fetch_add(1, Ordering::Relaxed);
@@ -214,6 +219,7 @@ impl Engine<FtRecovery> {
         key: Key,
         life: u64,
     ) {
+        // ord: Relaxed — statistics counter read at quiescence.
         self.metrics.resets.fetch_add(1, Ordering::Relaxed);
         self.policy
             .emit(s.worker_index(), Event::Reset { key, life });

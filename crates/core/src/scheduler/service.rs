@@ -178,6 +178,7 @@ impl<'e> GraphService<'e> {
             });
         }
         if let Err(held) = self.shared.gate.try_acquire() {
+            // ord: Relaxed — statistics counter read at quiescence.
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(Backpressure {
                 reason: BackpressureReason::InFlightBudget,
@@ -185,6 +186,8 @@ impl<'e> GraphService<'e> {
                 queued,
             });
         }
+        // ord: Relaxed — submitted is a statistics counter; next_id only
+        // needs uniqueness, which the RMW provides at any ordering.
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
@@ -208,6 +211,7 @@ impl<'e> GraphService<'e> {
 
         let shared = Arc::clone(&self.shared);
         let hook: QuiesceHook = Box::new(move || {
+            // ord: Relaxed — statistics counter read at quiescence.
             shared.completed.fetch_add(1, Ordering::Relaxed);
             shared.gate.release();
         });
@@ -234,6 +238,8 @@ impl<'e> GraphService<'e> {
     /// Snapshot of the aggregate service counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
+            // ord: Relaxed — monitoring snapshot; counters are commutative
+            // fetch_adds and the snapshot makes no cross-field promises.
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),

@@ -131,9 +131,13 @@ struct OverflowSeg {
     next: ft_sync::atomic::AtomicPtr<OverflowSeg>,
 }
 
+// ft-lint: hot-path begin(notify-cells)
 #[cfg(not(feature = "locked_notify"))]
 impl OverflowSeg {
     fn new(base: usize) -> Box<Self> {
+        // ft-lint: allow(L9) overflow segments exist only for recovery-time
+        // re-registrations; the steady-state claim/publish/take path never
+        // reaches this allocation.
         Box::new(OverflowSeg {
             base,
             slots: std::array::from_fn(|_| AtomicI64::new(CELL_EMPTY)),
@@ -320,6 +324,7 @@ impl NotifyCells {
         self.len() == 0
     }
 }
+// ft-lint: hot-path end(notify-cells)
 
 #[cfg(not(feature = "locked_notify"))]
 impl Drop for NotifyCells {
@@ -355,8 +360,15 @@ impl NotifyCells {
         }
     }
 
+    // ft-lint: hot-path begin(locked-notify)
+    //
+    // This is the deliberate mutex ablation (`--features locked_notify`)
+    // that `bench_pr9` measures against the lock-free cells; every lock
+    // acquisition below is the point of the experiment, not an accident.
+
     /// Registrant step 1: reserve a slot index.
     pub fn claim(&self) -> usize {
+        // ft-lint: allow(L9) measured ablation — the lock is the baseline.
         let mut g = self.slots.lock();
         g.push(CELL_EMPTY);
         g.len() - 1
@@ -368,11 +380,13 @@ impl NotifyCells {
             key > CELL_TAKEN,
             "task keys must not collide with sentinels"
         );
+        // ft-lint: allow(L9) measured ablation — the lock is the baseline.
         self.slots.lock()[slot] = key;
     }
 
     /// Registrant self-delivery arbitration (see the lock-free variant).
     pub fn try_take(&self, slot: usize, key: Key) -> bool {
+        // ft-lint: allow(L9) measured ablation — the lock is the baseline.
         let mut g = self.slots.lock();
         if g[slot] == key {
             g[slot] = CELL_TAKEN;
@@ -384,6 +398,7 @@ impl NotifyCells {
 
     /// Drainer scan of one claimed slot.
     pub fn take_at(&self, slot: usize) -> Take {
+        // ft-lint: allow(L9) measured ablation — the lock is the baseline.
         let mut g = self.slots.lock();
         match g[slot] {
             CELL_EMPTY => Take::Delegated,
@@ -397,6 +412,7 @@ impl NotifyCells {
 
     /// Number of claimed slots so far.
     pub fn len(&self) -> usize {
+        // ft-lint: allow(L9) measured ablation — the lock is the baseline.
         self.slots.lock().len()
     }
 
@@ -404,6 +420,7 @@ impl NotifyCells {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    // ft-lint: hot-path end(locked-notify)
 }
 
 /// Execution status of a task ("Visited, Computed, and Completed").
@@ -466,12 +483,15 @@ impl BaseDesc {
     /// status byte (impossible without injection) is a panic, never a
     /// silent `Completed`.
     pub fn status(&self) -> Status {
+        // ord: Acquire — pairs with set_status's Release so the Figure-2
+        // gate observing Computed also sees the task's output blocks.
         Status::from_u8(self.status.load(Ordering::Acquire))
             .expect("corrupt status byte — the baseline scheduler has no fault model")
     }
 
     /// Store a new status.
     pub fn set_status(&self, s: Status) {
+        // ord: Release — publishes the writes that justify the new status.
         self.status.store(s as u8, Ordering::Release);
     }
 }
@@ -548,12 +568,15 @@ impl FtDesc {
     /// the descriptor was corrupted, and surfaces as a descriptor fault
     /// exactly like a poisoned flag.
     pub fn try_status(&self) -> Result<Status, Fault> {
+        // ord: Acquire — pairs with set_status's Release so the Figure-2
+        // gate observing Computed also sees the task's output blocks.
         Status::from_u8(self.status.load(Ordering::Acquire))
             .ok_or_else(|| Fault::descriptor(self.key, self.life))
     }
 
     /// Store a new status.
     pub fn set_status(&self, s: Status) {
+        // ord: Release — publishes the writes that justify the new status.
         self.status.store(s as u8, Ordering::Release);
     }
 
@@ -561,6 +584,8 @@ impl FtDesc {
     /// routine that touches the descriptor inside one of the paper's try
     /// blocks calls this first.
     pub fn check(&self) -> Result<(), Fault> {
+        // ord: Acquire — observing the poison flag must also see the fault
+        // context written before it was raised (Release in poison_task).
         if self.poisoned.load(Ordering::Acquire) {
             Err(Fault::descriptor(self.key, self.life))
         } else {
@@ -585,6 +610,8 @@ impl FtDesc {
     /// `ResetNode` state restoration: join back to `|preds| + 1`, all bits
     /// set. (The caller then re-runs `InitAndCompute`.)
     pub fn reset_for_reexploration(&self) {
+        // ord: Release — the restored join count publishes the reset state
+        // before the node is re-announced to notifiers.
         self.join
             .store(self.preds.len() as i64 + 1, Ordering::Release);
         self.bits.set_all();

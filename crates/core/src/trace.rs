@@ -174,6 +174,8 @@ impl Trace {
             if cached != usize::MAX {
                 return cached;
             }
+            // ord: Relaxed — shard-id allocator; uniqueness comes from
+            // the RMW, no ordering with other state is needed.
             let s = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
             c.set(s);
             s

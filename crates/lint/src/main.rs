@@ -1,19 +1,21 @@
 //! `ft-lint` CLI.
 //!
 //! ```text
-//! cargo run -p ft-lint --            # report findings (exit 0)
-//! cargo run -p ft-lint -- --deny     # exit 1 on any violation (CI gate)
-//! cargo run -p ft-lint -- --json     # machine-readable report on stdout
-//! cargo run -p ft-lint -- --root X   # lint workspace rooted at X
+//! cargo run -p ft-lint --              # report findings (exit 0)
+//! cargo run -p ft-lint -- --deny       # exit 1 on any violation (CI gate)
+//! cargo run -p ft-lint -- --json      # machine-readable report on stdout
+//! cargo run -p ft-lint -- --root X    # lint workspace rooted at X
+//! cargo run -p ft-lint -- --restamp   # refresh LOOM_COVERAGE fingerprints
 //! ```
 
-use ft_lint::{run, Config};
+use ft_lint::{manifest, run, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
+    let mut restamp = false;
     // Default root: the workspace this binary was built from, so
     // `cargo run -p ft-lint` works from any directory.
     let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -22,6 +24,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--restamp" => restamp = true,
             "--root" => match args.next() {
                 Some(r) => root = PathBuf::from(r),
                 None => {
@@ -30,7 +33,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: ft-lint [--deny] [--json] [--root <dir>]");
+                eprintln!("usage: ft-lint [--deny] [--json] [--restamp] [--root <dir>]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -40,7 +43,19 @@ fn main() -> ExitCode {
         }
     }
     let root = root.canonicalize().unwrap_or(root);
-    let report = match run(&Config::workspace(root)) {
+    let config = Config::workspace(root);
+    if restamp {
+        // Refresh fingerprints first so a combined `--restamp --deny` run
+        // lints the freshly stamped manifest.
+        match manifest::restamp(&config.root, &config.manifest) {
+            Ok(n) => eprintln!("ft-lint: restamped {n} loom-coverage entr(y/ies)"),
+            Err(e) => {
+                eprintln!("ft-lint: --restamp failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let report = match run(&config) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ft-lint: io error: {e}");

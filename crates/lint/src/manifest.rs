@@ -1,0 +1,425 @@
+//! Manifest handling: `docs/LOOM_COVERAGE.toml` (rules L4/L8) and
+//! `docs/PROTOCOLS.toml` (rules L6/L7), plus the protocol-content
+//! fingerprints behind `ft-lint --restamp`.
+//!
+//! Both files are parsed with the same hand-rolled TOML subset PR 5 used
+//! for the coverage manifest (the workspace builds offline, so no `toml`
+//! crate): `[[table]]` arrays whose entries hold string keys and
+//! (possibly multiline) string arrays. Everything the linter does not
+//! understand is preserved verbatim by the restamp rewriter.
+
+use crate::lexer::{has_word, lex, test_region_start, Line};
+use crate::parser::ATOMIC_TYPES;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One `[[entry]]` of `docs/LOOM_COVERAGE.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LoomEntry {
+    /// Claimed file, repo-relative.
+    pub path: String,
+    /// 1-based line of the `[[entry]]` header.
+    pub line: usize,
+    /// Loom model files exercising the claimed protocol.
+    pub models: Vec<String>,
+    /// Freshness stamp: FNV-1a 64 over the file's protocol lines, or
+    /// `None` for a not-yet-stamped entry (rule L8 flags it).
+    pub fingerprint: Option<String>,
+    /// 1-based line of the `fingerprint` key (for diagnostics/rewrites).
+    pub fingerprint_line: Option<usize>,
+}
+
+/// Parsed loom-coverage manifest.
+#[derive(Debug, Clone, Default)]
+pub struct LoomManifest {
+    /// Entries in file order.
+    pub entries: Vec<LoomEntry>,
+}
+
+impl LoomManifest {
+    /// Parse the manifest source. Unknown keys are ignored.
+    pub fn parse(src: &str) -> Self {
+        let mut m = LoomManifest::default();
+        let mut array_key: Option<String> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let t = strip_toml_comment(raw);
+            if let Some(key) = continue_array(&mut array_key, t, &mut m.entries, idx) {
+                array_key = key;
+                continue;
+            }
+            if t == "[[entry]]" {
+                m.entries.push(LoomEntry {
+                    line: idx + 1,
+                    ..LoomEntry::default()
+                });
+                continue;
+            }
+            let Some(last) = m.entries.last_mut() else {
+                continue;
+            };
+            if let Some(v) = string_value(t, "path") {
+                last.path = v;
+            } else if let Some(v) = string_value(t, "fingerprint") {
+                last.fingerprint = Some(v);
+                last.fingerprint_line = Some(idx + 1);
+            } else if let Some(rest) = array_start(t, "models") {
+                last.models.extend(string_items(rest));
+                if !rest.trim_end().ends_with(']') {
+                    array_key = Some("models".to_string());
+                }
+            }
+        }
+        m
+    }
+
+    /// The entry claiming `rel`, if any.
+    pub fn entry_for(&self, rel: &str) -> Option<&LoomEntry> {
+        self.entries.iter().find(|e| e.path == rel)
+    }
+}
+
+/// One `[[protocol]]` of `docs/PROTOCOLS.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Protocol {
+    /// Protocol name, referenced by `// sc:` fence tags.
+    pub name: String,
+    /// 1-based line of the `[[protocol]]` header.
+    pub line: usize,
+    /// Explicit heading anchor in `docs/ALGORITHM.md` (`<a id="...">`).
+    pub anchor: String,
+    /// Loom suites exercising the protocol (empty needs `notes`).
+    pub loom: Vec<String>,
+    /// Claimed atomic fields: `(key, manifest_line)` with keys shaped
+    /// `<file>::<Struct>::<field>`.
+    pub fields: Vec<(String, usize)>,
+    /// Why no loom suite, when `loom` is empty.
+    pub notes: String,
+}
+
+/// Parsed protocol manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Protocols {
+    /// Protocols in file order.
+    pub protocols: Vec<Protocol>,
+}
+
+impl Protocols {
+    /// Parse the manifest source. Unknown keys are ignored.
+    pub fn parse(src: &str) -> Self {
+        let mut m = Protocols::default();
+        let mut array_key: Option<String> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let t = strip_toml_comment(raw);
+            if let Some(last) = m.protocols.last_mut() {
+                if let Some(key) = &array_key {
+                    let items = string_items(t);
+                    match key.as_str() {
+                        "loom" => last.loom.extend(items),
+                        _ => last.fields.extend(items.into_iter().map(|s| (s, idx + 1))),
+                    }
+                    if t.contains(']') {
+                        array_key = None;
+                    }
+                    continue;
+                }
+            }
+            if t == "[[protocol]]" {
+                m.protocols.push(Protocol {
+                    line: idx + 1,
+                    ..Protocol::default()
+                });
+                continue;
+            }
+            let Some(last) = m.protocols.last_mut() else {
+                continue;
+            };
+            if let Some(v) = string_value(t, "name") {
+                last.name = v;
+            } else if let Some(v) = string_value(t, "anchor") {
+                last.anchor = v;
+            } else if let Some(v) = string_value(t, "notes") {
+                last.notes = v;
+            } else if let Some(rest) = array_start(t, "loom") {
+                last.loom.extend(string_items(rest));
+                if !rest.trim_end().ends_with(']') {
+                    array_key = Some("loom".to_string());
+                }
+            } else if let Some(rest) = array_start(t, "fields") {
+                last.fields
+                    .extend(string_items(rest).into_iter().map(|s| (s, idx + 1)));
+                if !rest.trim_end().ends_with(']') {
+                    array_key = Some("fields".to_string());
+                }
+            }
+        }
+        m
+    }
+
+    /// The protocol named `name`, if declared.
+    pub fn by_name(&self, name: &str) -> Option<&Protocol> {
+        self.protocols.iter().find(|p| p.name == name)
+    }
+
+    /// The protocol claiming field `key`, if any.
+    pub fn claimant(&self, key: &str) -> Option<&Protocol> {
+        self.protocols
+            .iter()
+            .find(|p| p.fields.iter().any(|(f, _)| f == key))
+    }
+}
+
+/// `LoomManifest::parse` helper: consume one line of an open multiline
+/// `models = [` array. Returns `Some(next_state)` when the line belonged
+/// to the array.
+fn continue_array(
+    array_key: &mut Option<String>,
+    t: &str,
+    entries: &mut [LoomEntry],
+    _idx: usize,
+) -> Option<Option<String>> {
+    if array_key.is_none() {
+        return None;
+    }
+    if let Some(last) = entries.last_mut() {
+        last.models.extend(string_items(t));
+    }
+    Some(if t.contains(']') {
+        None
+    } else {
+        array_key.take()
+    })
+}
+
+/// Strip a trailing `#` TOML comment (quote-aware) and trim.
+fn strip_toml_comment(raw: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in raw.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return raw[..i].trim(),
+            _ => {}
+        }
+    }
+    raw.trim()
+}
+
+/// `key = "value"` → `value`.
+fn string_value(t: &str, key: &str) -> Option<String> {
+    let rest = t.strip_prefix(key)?.trim_start().strip_prefix('=')?.trim();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// `key = [rest` → `rest` (the array may close on the same line).
+fn array_start<'a>(t: &'a str, key: &str) -> Option<&'a str> {
+    t.strip_prefix(key)?
+        .trim_start()
+        .strip_prefix('=')?
+        .trim()
+        .strip_prefix('[')
+}
+
+/// All `"..."` string literals on a (partial) TOML array line.
+fn string_items(t: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = t;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        out.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+/// FNV-1a 64 of the file's **protocol lines**: every non-test code line
+/// that mentions an atomic type, an `Ordering::`, a `fence` call or
+/// `unsafe`. Comment edits (tags, docs) never disturb the stamp; touching
+/// the atomics/unsafe themselves always does.
+pub fn protocol_fingerprint(src: &str) -> String {
+    let lines = lex(src);
+    let test_start = test_region_start(&lines).unwrap_or(lines.len());
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |s: &str| {
+        for b in s.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for line in &lines[..test_start] {
+        if is_protocol_line(line) {
+            feed(line.code.trim());
+            feed("\n");
+        }
+    }
+    format!("{hash:016x}")
+}
+
+/// Does this line carry protocol-relevant code (see
+/// [`protocol_fingerprint`])?
+fn is_protocol_line(line: &Line) -> bool {
+    let code = &line.code;
+    if code.contains("Ordering::") || has_word(code, "unsafe") || has_word(code, "fence") {
+        return true;
+    }
+    ATOMIC_TYPES.iter().any(|t| has_word(code, t))
+}
+
+/// Rewrite `docs/LOOM_COVERAGE.toml` in place with fresh fingerprints for
+/// every entry whose claimed file exists under `root`. Returns the number
+/// of entries whose stamp changed (added or updated). Everything except
+/// `fingerprint` lines is preserved byte-for-byte.
+pub fn restamp(root: &Path, manifest_rel: &Path) -> std::io::Result<usize> {
+    let manifest_path = root.join(manifest_rel);
+    let src = std::fs::read_to_string(&manifest_path)?;
+    let mut out = String::with_capacity(src.len() + 256);
+    let mut changed = 0usize;
+    let mut pending_path: Option<String> = None;
+
+    // Emit (or replace) the fingerprint line directly after `path = ...`,
+    // so stamps sit next to what they stamp.
+    for raw in src.lines() {
+        let t = strip_toml_comment(raw);
+        if string_value(t, "fingerprint").is_some() {
+            continue; // old stamp: superseded below
+        }
+        let _ = writeln!(out, "{raw}");
+        if let Some(path) = string_value(t, "path") {
+            pending_path = Some(path);
+        }
+        if let Some(path) = pending_path.take() {
+            let file = root.join(&path);
+            if let Ok(claimed_src) = std::fs::read_to_string(&file) {
+                let fp = protocol_fingerprint(&claimed_src);
+                let old = LoomManifest::parse(&src)
+                    .entry_for(&path)
+                    .and_then(|e| e.fingerprint.clone());
+                if old.as_deref() != Some(fp.as_str()) {
+                    changed += 1;
+                }
+                let _ = writeln!(out, "fingerprint = \"{fp}\"");
+            }
+            // A claim on a missing file gets no stamp; rule L8 reports
+            // the dangling entry itself.
+        }
+    }
+    if out != src {
+        std::fs::write(&manifest_path, out)?;
+    }
+    Ok(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOM: &str = r#"
+# header comment
+[[entry]]
+path = "a/b.rs"
+fingerprint = "00ff"
+models = ["m/one.rs"]
+notes = "x"
+
+[[entry]]
+path = "c/d.rs"
+models = [
+    "m/one.rs",
+    "m/two.rs",
+]
+"#;
+
+    #[test]
+    fn parses_loom_entries_with_multiline_models() {
+        let m = LoomManifest::parse(LOOM);
+        assert_eq!(m.entries.len(), 2);
+        assert_eq!(m.entries[0].path, "a/b.rs");
+        assert_eq!(m.entries[0].fingerprint.as_deref(), Some("00ff"));
+        assert_eq!(m.entries[1].fingerprint, None);
+        assert_eq!(m.entries[1].models, vec!["m/one.rs", "m/two.rs"]);
+        assert!(m.entry_for("c/d.rs").is_some());
+    }
+
+    const PROTO: &str = r#"
+[[protocol]]
+name = "seqlock"
+anchor = "seqlock-read-path"
+loom = ["crates/cmap/tests/loom_seqlock.rs"]
+fields = [
+    "crates/cmap/src/map.rs::Shard::seq",
+    "crates/cmap/src/map.rs::Shard::table", # trailing comment
+]
+notes = "writer windows vs optimistic readers"
+
+[[protocol]]
+name = "stats"
+anchor = "metrics"
+loom = []
+fields = ["crates/core/src/metrics.rs::ShardedCounter::lanes"]
+notes = "relaxed counters, read at quiescence"
+"#;
+
+    #[test]
+    fn parses_protocols() {
+        let p = Protocols::parse(PROTO);
+        assert_eq!(p.protocols.len(), 2);
+        let s = p.by_name("seqlock").expect("seqlock declared");
+        assert_eq!(s.anchor, "seqlock-read-path");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[1].0, "crates/cmap/src/map.rs::Shard::table");
+        let claimant = p
+            .claimant("crates/core/src/metrics.rs::ShardedCounter::lanes")
+            .expect("claimed");
+        assert_eq!(claimant.name, "stats");
+        assert!(p.by_name("absent").is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_code_not_comments() {
+        let a = "fn f(x: &AtomicU64) {\n    x.store(1, Ordering::Release);\n}\n";
+        let with_comment =
+            "fn f(x: &AtomicU64) {\n    // ord: Release — publish.\n    x.store(1, Ordering::Release);\n}\n";
+        let changed = "fn f(x: &AtomicU64) {\n    x.store(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(
+            protocol_fingerprint(a),
+            protocol_fingerprint(with_comment),
+            "comment-only edits keep the stamp"
+        );
+        assert_ne!(
+            protocol_fingerprint(a),
+            protocol_fingerprint(changed),
+            "ordering edits break the stamp"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_test_region_and_plain_code() {
+        let a = "fn g() { let v = 1; }\nfn f(x: &AtomicU64) { x.store(1, Ordering::SeqCst); }\n";
+        let b = "fn g() { let v = 2; }\nfn f(x: &AtomicU64) { x.store(1, Ordering::SeqCst); }\n#[cfg(test)]\nmod tests {\n    fn t(x: &AtomicU64) { x.store(9, Ordering::SeqCst); }\n}\n";
+        assert_eq!(protocol_fingerprint(a), protocol_fingerprint(b));
+    }
+
+    #[test]
+    fn restamp_rewrites_in_place() {
+        let dir = std::env::temp_dir().join(format!("ftlint-restamp-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/a.rs"),
+            "fn f(x: &AtomicU64) { x.store(1, Ordering::SeqCst); }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("cov.toml"),
+            "[[entry]]\npath = \"src/a.rs\"\nmodels = []\nnotes = \"n\"\n",
+        )
+        .unwrap();
+        let changed = restamp(&dir, Path::new("cov.toml")).unwrap();
+        assert_eq!(changed, 1);
+        let rewritten = std::fs::read_to_string(dir.join("cov.toml")).unwrap();
+        assert!(rewritten.contains("fingerprint = \""), "{rewritten}");
+        assert!(rewritten.contains("notes = \"n\""), "other keys preserved");
+        // Second run: stamp already fresh.
+        assert_eq!(restamp(&dir, Path::new("cov.toml")).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,463 @@
+//! A lightweight item/region parser over the line lexer.
+//!
+//! PR 10 grew `ft-lint` from per-line rules into protocol-aware auditing,
+//! which needs three kinds of *structure* the lexer alone cannot see:
+//!
+//! * **struct fields** — which atomic fields each runtime struct declares
+//!   (rule L7 checks them against `docs/PROTOCOLS.toml`);
+//! * **fence sites** — every `fence(...)` call plus its `// sc:
+//!   <protocol>/<side>` pairing tag (rule L6);
+//! * **hot-path regions** — spans bracketed by `ft-lint: hot-path
+//!   begin(<name>)` / `end(<name>)` markers (rule L9).
+//!
+//! Like the lexer, this is deliberately not a full Rust parser: brace
+//! depth over comment/string-masked code is enough to attribute fields to
+//! structs, and everything else is comment-side convention. The trade-off
+//! is the same as PR 5's: a dependency-free auditor the workspace can run
+//! offline, precise enough that every diagnostic points at a real line.
+
+use crate::lexer::{has_word, Line};
+
+/// Atomic type names recognized by the field scan (the `ft-sync` facade
+/// re-exports exactly these). Matched at identifier boundaries anywhere in
+/// a field's type, so `Box<[AtomicU64]>`, `CachePadded<AtomicU64>` and
+/// `[AtomicI64; N]` all count.
+pub const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+/// An atomic field declared by a runtime struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicField {
+    /// Struct that declares the field.
+    pub strukt: String,
+    /// Field name.
+    pub field: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// The atomic type name that matched (diagnostics).
+    pub atomic_type: &'static str,
+}
+
+impl AtomicField {
+    /// Manifest key for this field within file `rel`:
+    /// `<rel>::<Struct>::<field>`.
+    pub fn key(&self, rel: &str) -> String {
+        format!("{rel}::{}::{}", self.strukt, self.field)
+    }
+}
+
+/// A memory-fence call site and its (optional) `sc:` pairing tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenceSite {
+    /// 1-based line of the `fence(...)` call.
+    pub line: usize,
+    /// Parsed `// sc: <protocol>/<side>` tag covering the site, if any.
+    pub tag: Option<ScTag>,
+}
+
+/// A parsed `sc:` fence-pairing tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScTag {
+    /// Protocol name — must be declared in `docs/PROTOCOLS.toml`.
+    pub protocol: String,
+    /// Side of the protocol this site implements (e.g. `registrant`).
+    pub side: String,
+}
+
+/// A hot-path region bracketed by marker comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRegion {
+    /// Region name from `begin(<name>)`.
+    pub name: String,
+    /// 1-based line of the `begin` marker.
+    pub begin: usize,
+    /// 1-based line of the `end` marker; `None` if unterminated at EOF
+    /// (or at the start of the file's test region).
+    pub end: Option<usize>,
+}
+
+/// Parse `sc: <protocol>/<side>` out of comment text.
+pub fn parse_sc_tag(comment: &str) -> Option<ScTag> {
+    let at = comment.find("sc: ")?;
+    // Only accept the tag at a token boundary so prose like "misc: x"
+    // cannot introduce one.
+    if comment[..at]
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        // Retry past the false hit.
+        return parse_sc_tag(&comment[at + 4..]);
+    }
+    let token: String = comment[at + 4..]
+        .chars()
+        .take_while(|c| !c.is_whitespace())
+        .collect();
+    let (protocol, side) = token.split_once('/')?;
+    let ok = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+    };
+    (ok(protocol) && ok(side)).then(|| ScTag {
+        protocol: protocol.to_string(),
+        side: side.to_string(),
+    })
+}
+
+/// Parse a hot-path marker out of comment text:
+/// `ft-lint: hot-path begin(<name>)` or `ft-lint: hot-path end(<name>)`.
+/// Returns `(is_begin, name)`.
+fn parse_hot_marker(comment: &str) -> Option<(bool, String)> {
+    let rest = comment.split("ft-lint: hot-path ").nth(1)?;
+    let (is_begin, rest) = if let Some(r) = rest.strip_prefix("begin(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("end(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let name: String = rest.chars().take_while(|&c| c != ')').collect();
+    (!name.is_empty() && rest.len() > name.len()).then_some((is_begin, name))
+}
+
+/// Everything the item/region pass extracts from one file. Field, fence
+/// and region scans all stop at the file's test region (mirroring the
+/// per-line rules).
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Atomic struct fields, in declaration order.
+    pub fields: Vec<AtomicField>,
+    /// `fence(...)` call sites, in line order.
+    pub fences: Vec<FenceSite>,
+    /// Hot-path regions, in `begin` order.
+    pub regions: Vec<HotRegion>,
+    /// Marker problems: `(line, message)` for unmatched/nested markers.
+    pub marker_errors: Vec<(usize, String)>,
+}
+
+impl FileItems {
+    /// Is 0-based line index `idx` inside any well-formed hot region?
+    /// The marker lines themselves are excluded.
+    pub fn in_hot_region(&self, idx: usize) -> Option<&HotRegion> {
+        let line = idx + 1;
+        self.regions.iter().find(|r| {
+            let end = r.end.unwrap_or(usize::MAX);
+            line > r.begin && line < end
+        })
+    }
+}
+
+/// One struct whose body is currently open.
+struct OpenStruct {
+    name: String,
+    /// Brace depth of the struct *body* (fields live exactly here).
+    body_depth: u32,
+}
+
+/// Run the item/region pass over the lexed `code` lines (the caller slices
+/// off the test region first). `sc_tag_for` resolution uses the same
+/// same-line-or-block-above convention as waivers.
+pub fn parse_items(code: &[Line]) -> FileItems {
+    let mut items = FileItems::default();
+    let mut depth: u32 = 0;
+    // `struct Name` seen, body brace not yet reached.
+    let mut pending_struct: Option<String> = None;
+    let mut open_structs: Vec<OpenStruct> = Vec::new();
+    let mut open_regions: Vec<(String, usize)> = Vec::new();
+
+    for (idx, line) in code.iter().enumerate() {
+        // --- comment-side markers -------------------------------------
+        if let Some((is_begin, name)) = parse_hot_marker(&line.comment) {
+            if is_begin {
+                if let Some((open, at)) = open_regions.last() {
+                    items.marker_errors.push((
+                        idx + 1,
+                        format!(
+                            "hot-path begin({name}) nested inside begin({open}) \
+                             from line {at}; close it first"
+                        ),
+                    ));
+                } else {
+                    open_regions.push((name, idx + 1));
+                }
+            } else {
+                match open_regions.pop() {
+                    Some((open, at)) if open == name => {
+                        items.regions.push(HotRegion {
+                            name: open,
+                            begin: at,
+                            end: Some(idx + 1),
+                        });
+                    }
+                    Some((open, at)) => {
+                        items.marker_errors.push((
+                            idx + 1,
+                            format!(
+                                "hot-path end({name}) does not match open \
+                                 begin({open}) from line {at}"
+                            ),
+                        ));
+                        // Close the mismatched region anyway so one typo
+                        // yields one diagnostic, not a cascade.
+                        items.regions.push(HotRegion {
+                            name: open,
+                            begin: at,
+                            end: Some(idx + 1),
+                        });
+                    }
+                    None => {
+                        items.marker_errors.push((
+                            idx + 1,
+                            format!("hot-path end({name}) without a matching begin"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // --- fence sites ----------------------------------------------
+        if has_word(&line.code, "fence") && line.code.contains("fence(") {
+            let tag = sc_tag_for(code, idx);
+            items.fences.push(FenceSite { line: idx + 1, tag });
+        }
+
+        // --- struct fields ---------------------------------------------
+        // A field line is checked against the depth *before* this line's
+        // braces are processed (fields never open/close the body brace on
+        // their own line in rustfmt'd code; a brace on the line simply
+        // means it is not a field).
+        if let Some(open) = open_structs.last() {
+            if depth == open.body_depth {
+                if let Some((field, ty)) = split_field(&line.code) {
+                    if let Some(at) = ATOMIC_TYPES.iter().find(|t| has_word(ty, t)) {
+                        items.fields.push(AtomicField {
+                            strukt: open.name.clone(),
+                            field: field.to_string(),
+                            line: idx + 1,
+                            atomic_type: at,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Detect a struct declaration before brace-processing the line so
+        // `struct X {` pushes with the correct body depth.
+        if pending_struct.is_none() && has_word(&line.code, "struct") {
+            if let Some(name) = struct_name(&line.code) {
+                pending_struct = Some(name);
+            }
+        }
+
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(name) = pending_struct.take() {
+                        open_structs.push(OpenStruct {
+                            name,
+                            body_depth: depth,
+                        });
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if open_structs.last().is_some_and(|s| depth < s.body_depth) {
+                        open_structs.pop();
+                    }
+                }
+                // Unit (`struct X;`) and tuple (`struct X(..);`) structs
+                // never open a field body.
+                ';' => {
+                    pending_struct = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (name, at) in open_regions {
+        items.regions.push(HotRegion {
+            name: name.clone(),
+            begin: at,
+            end: None,
+        });
+        items.marker_errors.push((
+            at,
+            format!("hot-path begin({name}) is never closed with end({name})"),
+        ));
+    }
+    items
+}
+
+/// The `sc:` tag covering line `idx`: on the line's own comment or in the
+/// contiguous comment/attribute block immediately above.
+fn sc_tag_for(lines: &[Line], idx: usize) -> Option<ScTag> {
+    if let Some(tag) = parse_sc_tag(&lines[idx].comment) {
+        return Some(tag);
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        if l.is_comment_only() || l.is_attr_only() {
+            if let Some(tag) = parse_sc_tag(&l.comment) {
+                return Some(tag);
+            }
+        } else {
+            break;
+        }
+    }
+    None
+}
+
+/// Split a struct-body line into `(field_name, type_text)` if it is a
+/// named-field declaration.
+fn split_field(code: &str) -> Option<(&str, &str)> {
+    let mut t = code.trim_start();
+    for prefix in ["pub(crate)", "pub(super)", "pub(in"] {
+        if let Some(rest) = t.strip_prefix(prefix) {
+            // `pub(in path)` — skip to the closing paren.
+            t = match prefix {
+                "pub(in" => rest.split_once(')').map(|(_, r)| r)?,
+                _ => rest,
+            };
+            t = t.trim_start();
+        }
+    }
+    if let Some(rest) = t.strip_prefix("pub ") {
+        t = rest.trim_start();
+    }
+    let colon = t.find(':')?;
+    let (name, ty) = t.split_at(colon);
+    let name = name.trim();
+    // `::` (paths), `let x:` inside bodies (depth check filters those) and
+    // non-identifier junk are rejected.
+    if name.is_empty()
+        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        || ty.starts_with("::")
+    {
+        return None;
+    }
+    // Keywords that precede a `:` in non-field positions.
+    if ["if", "else", "match", "return", "let", "const", "static"].contains(&name) {
+        return None;
+    }
+    Some((name, &ty[1..]))
+}
+
+/// Extract the struct name from a `struct Name ...` declaration line.
+fn struct_name(code: &str) -> Option<String> {
+    let at = code.find("struct")?;
+    let rest = code[at + "struct".len()..].trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_atomic_fields_with_struct_attribution() {
+        let src = "pub struct A {\n    pub join: AtomicI64,\n    name: String,\n    spill: Box<[AtomicU64]>,\n}\nstruct B {\n    next: ft_sync::atomic::AtomicPtr<Seg>,\n}\n";
+        let items = parse_items(&lex(src));
+        let keys: Vec<String> = items.fields.iter().map(|f| f.key("f.rs")).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "f.rs::A::join".to_string(),
+                "f.rs::A::spill".to_string(),
+                "f.rs::B::next".to_string()
+            ]
+        );
+        assert_eq!(items.fields[0].line, 2);
+    }
+
+    #[test]
+    fn nested_braces_do_not_misattribute_fields() {
+        // A method body between fields-at-depth never matches; a struct
+        // literal inside a fn does not reopen the field scan.
+        let src = "struct A {\n    x: AtomicU64,\n}\nimpl A {\n    fn f(&self) {\n        let y: AtomicU64 = AtomicU64::new(0);\n        let a = A { x: AtomicU64::new(1) };\n    }\n}\n";
+        let items = parse_items(&lex(src));
+        assert_eq!(items.fields.len(), 1);
+        assert_eq!(items.fields[0].field, "x");
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_are_skipped() {
+        let src = "struct U;\nstruct T(AtomicU64);\nstruct N {\n    v: AtomicBool,\n}\n";
+        let items = parse_items(&lex(src));
+        assert_eq!(items.fields.len(), 1);
+        assert_eq!(items.fields[0].strukt, "N");
+    }
+
+    #[test]
+    fn array_and_wrapped_atomics_are_fields() {
+        let src = "struct S {\n    slots: [AtomicI64; 8],\n    lanes: Box<[CachePadded<AtomicU64>]>,\n    not_atomic: AtomicBitVec,\n}\n";
+        let items = parse_items(&lex(src));
+        let names: Vec<&str> = items.fields.iter().map(|f| f.field.as_str()).collect();
+        assert_eq!(names, vec!["slots", "lanes"]);
+    }
+
+    #[test]
+    fn fence_sites_pick_up_sc_tags_from_block_above() {
+        let src = "fn f() {\n    // sc: seqlock/writer-begin — pairs with the reader.\n    // ord: Release fence.\n    fence(Ordering::Release);\n    fence(Ordering::SeqCst);\n}\n";
+        let items = parse_items(&lex(src));
+        assert_eq!(items.fences.len(), 2);
+        let tag = items.fences[0].tag.as_ref().expect("tagged");
+        assert_eq!(tag.protocol, "seqlock");
+        assert_eq!(tag.side, "writer-begin");
+        assert!(items.fences[1].tag.is_none(), "second fence is untagged");
+        assert_eq!(items.fences[1].line, 5);
+    }
+
+    #[test]
+    fn sc_tag_requires_token_boundary_and_shape() {
+        assert!(parse_sc_tag("sc: proto/side").is_some());
+        assert!(parse_sc_tag("see misc: proto/side").is_none());
+        assert!(parse_sc_tag("sc: no-slash").is_none());
+        assert!(parse_sc_tag("sc: Upper/Case").is_none());
+        let t = parse_sc_tag("blah sc: a-b/c_d trailing").unwrap();
+        assert_eq!((t.protocol.as_str(), t.side.as_str()), ("a-b", "c_d"));
+    }
+
+    #[test]
+    fn hot_regions_pair_and_report_errors() {
+        let src = "// ft-lint: hot-path begin(read)\nfn f() {}\n// ft-lint: hot-path end(read)\n// ft-lint: hot-path end(phantom)\n// ft-lint: hot-path begin(open)\n";
+        let items = parse_items(&lex(src));
+        assert_eq!(items.regions.len(), 2);
+        assert_eq!(items.regions[0].name, "read");
+        assert_eq!(items.regions[0].end, Some(3));
+        assert_eq!(items.regions[1].end, None, "unterminated");
+        assert_eq!(items.marker_errors.len(), 2, "{:?}", items.marker_errors);
+        assert!(items.in_hot_region(1).is_some(), "fn f is inside `read`");
+        assert!(items.in_hot_region(0).is_none(), "marker line excluded");
+    }
+
+    #[test]
+    fn mismatched_end_closes_with_one_diagnostic() {
+        let src = "// ft-lint: hot-path begin(a)\nfn f() {}\n// ft-lint: hot-path end(b)\n";
+        let items = parse_items(&lex(src));
+        assert_eq!(items.marker_errors.len(), 1);
+        assert_eq!(items.regions.len(), 1);
+    }
+}

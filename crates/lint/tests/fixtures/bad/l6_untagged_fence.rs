@@ -1,0 +1,7 @@
+//! Bad fixture for L6: an SC fence with no `// sc:` protocol tag.
+
+use ft_sync::atomic::{fence, Ordering};
+
+pub fn publish_side() {
+    fence(Ordering::SeqCst);
+}

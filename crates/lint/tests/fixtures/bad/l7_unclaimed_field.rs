@@ -1,0 +1,8 @@
+//! Bad fixture for L7: a runtime struct atomic field that no protocol in
+//! the manifest claims.
+
+use ft_sync::atomic::AtomicU64;
+
+pub struct Gate {
+    pub in_flight: AtomicU64,
+}

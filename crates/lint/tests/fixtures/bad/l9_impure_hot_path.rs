@@ -1,0 +1,13 @@
+//! Bad fixture for L9: allocation and blocking inside a hot-path region.
+
+pub fn cold_setup() -> Vec<u64> {
+    vec![0; 16]
+}
+
+// ft-lint: hot-path begin(drain)
+pub fn drain(q: &parking_lot::Mutex<Vec<u64>>) -> Option<u64> {
+    let mut g = q.lock();
+    let boxed = Box::new(g.pop());
+    *boxed
+}
+// ft-lint: hot-path end(drain)

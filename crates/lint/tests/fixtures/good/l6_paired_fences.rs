@@ -1,0 +1,14 @@
+//! Good fixture for L6: both sides of a Dekker pair carry `sc:` tags
+//! naming the same protocol.
+
+use ft_sync::atomic::{fence, Ordering};
+
+pub fn registrant_side() {
+    // sc: handshake/registrant
+    fence(Ordering::SeqCst);
+}
+
+pub fn drainer_side() {
+    // sc: handshake/drainer
+    fence(Ordering::SeqCst);
+}

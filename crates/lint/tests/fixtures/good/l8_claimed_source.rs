@@ -1,0 +1,8 @@
+//! Source file referenced by the L8 freshness tests: the manifest
+//! fingerprint is computed over the atomic code lines below.
+
+use ft_sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::SeqCst)
+}

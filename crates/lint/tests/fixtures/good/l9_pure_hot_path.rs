@@ -1,0 +1,15 @@
+//! Good fixture for L9: the hot region stays pure; the one audited
+//! exception carries a waiver.
+
+use ft_sync::atomic::{AtomicU64, Ordering};
+
+// ft-lint: hot-path begin(claim)
+pub fn claim(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn snapshot(v: &[u64]) -> Vec<u64> {
+    // ft-lint: allow(L9) diagnostics-only copy, measured off the fast path.
+    v.to_vec()
+}
+// ft-lint: hot-path end(claim)

@@ -1,0 +1,162 @@
+//! Meta-test: the protocol rules must catch a *real* regression, not just
+//! synthetic fixtures. Copy the real `engine.rs` into a throwaway mini
+//! workspace with programmatically generated manifests, verify the copy
+//! lints clean, then delete one `// sc:` fence tag — exactly the edit a
+//! careless refactor would make — and assert L6 fires at that fence.
+
+use ft_lint::manifest::protocol_fingerprint;
+use ft_lint::{run, Config};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// A unique, self-cleaning scratch workspace under the target dir (kept
+/// out of `std::env::temp_dir()` so parallel checkouts never collide).
+struct MiniWorkspace {
+    root: PathBuf,
+}
+
+impl MiniWorkspace {
+    fn new(tag: &str) -> Self {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/lint-meta")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create mini workspace");
+        MiniWorkspace { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).expect("mkdir");
+        fs::write(path, contents).expect("write");
+    }
+}
+
+impl Drop for MiniWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Build a mini workspace holding the *real* engine.rs plus manifests
+/// generated from its actual content (fingerprint included), so the copy
+/// starts provably clean under the full `run()` policy.
+fn engine_workspace(tag: &str) -> (MiniWorkspace, String) {
+    let engine = fs::read_to_string(workspace_root().join("crates/core/src/scheduler/engine.rs"))
+        .expect("real engine.rs readable");
+
+    let ws = MiniWorkspace::new(tag);
+    ws.write("crates/core/src/scheduler/engine.rs", &engine);
+    ws.write(
+        "docs/ALGORITHM.md",
+        "# Mini algorithm doc\n\n## Notify cells <a id=\"notify-cells\"></a>\n",
+    );
+    ws.write(
+        "docs/PROTOCOLS.toml",
+        "[[protocol]]\nname = \"notify-cells\"\nanchor = \"notify-cells\"\nloom = []\nfields = []\nnotes = \"mini workspace: suites live in the real tree\"\n",
+    );
+    ws.write(
+        "docs/LOOM_COVERAGE.toml",
+        &format!(
+            "[[entry]]\npath = \"crates/core/src/scheduler/engine.rs\"\nfingerprint = \"{}\"\nmodels = []\nnotes = \"mini workspace: modeled in the real tree\"\n",
+            protocol_fingerprint(&engine)
+        ),
+    );
+    (ws, engine)
+}
+
+fn mini_config(root: &Path) -> Config {
+    let mut config = Config::workspace(root);
+    // Only core exists in the mini tree; missing dirs would error.
+    config.runtime_dirs = vec![PathBuf::from("crates/core/src")];
+    config.ordering_dirs = vec![PathBuf::from("crates/core/src")];
+    config.field_dirs = vec![PathBuf::from("crates/core/src")];
+    config
+}
+
+#[test]
+fn untagging_a_real_fence_trips_l6() {
+    let (ws, engine) = engine_workspace("untag");
+    let config = mini_config(&ws.root);
+
+    // The pristine copy of the real file is clean under the full policy.
+    let report = run(&config).expect("lint mini workspace");
+    assert!(
+        report.violations.is_empty(),
+        "pristine engine.rs copy must lint clean:\n{}",
+        report.render_human()
+    );
+
+    // A careless refactor drops the registrant-side protocol tag.
+    let tag_line = "// sc: notify-cells/registrant";
+    assert_eq!(
+        engine.matches(tag_line).count(),
+        1,
+        "engine.rs carries exactly one registrant tag"
+    );
+    let fence_line = 1
+        + engine
+            .lines()
+            .position(|l| l.trim() == tag_line)
+            .expect("tag present")
+        + 1; // tag line index -> 1-based line of the fence call below it
+    let untagged: String = engine
+        .lines()
+        .filter(|l| l.trim() != tag_line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    ws.write("crates/core/src/scheduler/engine.rs", &untagged);
+
+    let report = run(&config).expect("lint mutated workspace");
+    let l6: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "L6")
+        .collect();
+    assert!(
+        !l6.is_empty(),
+        "deleting a fence tag must trip L6:\n{}",
+        report.render_human()
+    );
+    // The untagged fence itself is flagged (one line up now that the tag
+    // comment is gone), in the right file.
+    assert!(
+        l6.iter().any(|v| {
+            v.file == "crates/core/src/scheduler/engine.rs" && v.line == fence_line - 1
+        }),
+        "expected an L6 hit at the untagged fence (line {}):\n{}",
+        fence_line - 1,
+        report.render_human()
+    );
+}
+
+#[test]
+fn editing_atomics_without_restamp_trips_l8() {
+    let (ws, engine) = engine_workspace("stale");
+    let config = mini_config(&ws.root);
+    assert!(run(&config).expect("lint").violations.is_empty());
+
+    // An ordering edit on a fingerprinted line — exactly the change that
+    // must force a loom-coverage re-verify.
+    let old = "let val = a.join().fetch_sub(1, Ordering::AcqRel) - 1;";
+    assert_eq!(engine.matches(old).count(), 1);
+    let edited = engine.replace(
+        old,
+        "let val = a.join().fetch_sub(1, Ordering::Release) - 1;",
+    );
+    ws.write("crates/core/src/scheduler/engine.rs", &edited);
+
+    let report = run(&config).expect("lint mutated workspace");
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "L8" && v.message.contains("stale fingerprint")),
+        "editing an atomic line without --restamp must trip L8:\n{}",
+        report.render_human()
+    );
+}

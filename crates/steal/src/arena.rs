@@ -128,6 +128,8 @@ impl<T> Arena<T> {
         }
     }
 
+    // ft-lint: hot-path begin(arena-alloc)
+
     /// Allocate `value` in the arena. The returned handle stays valid (and
     /// the value is not dropped) until the arena itself is dropped.
     pub fn alloc(&self, value: T) -> ArenaRef<T> {
@@ -168,6 +170,8 @@ impl<T> Arena<T> {
             self.install_chunk(cur);
         }
     }
+
+    // ft-lint: hot-path end(arena-alloc)
 
     /// Try to install a fresh chunk on top of `seen` (the `current` value
     /// this claimant just observed). Loses gracefully to racing installers.

@@ -218,6 +218,7 @@ unsafe impl<T: Send> Send for Worker<T> {}
 
 impl<T: Send> Worker<T> {
     /// Push a value at the bottom. Owner-only.
+    // ft-lint: hot-path begin(deque-owner)
     pub fn push(&self, v: T) {
         let inner = &*self.inner;
         // ord: Relaxed/Acquire/Relaxed — only the owner writes `bottom` and
@@ -244,6 +245,7 @@ impl<T: Send> Worker<T> {
         // ord: Release fence + Relaxed store — the slot write above must be
         // visible before the incremented `bottom` is; pairs with the
         // thief's Acquire load of `bottom` in `steal`.
+        // sc: chase-lev/owner-publish
         fence(Ordering::Release);
         inner.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
     }
@@ -260,6 +262,7 @@ impl<T: Send> Worker<T> {
         // before reading `top` (the crux of Chase-Lev: pairs with the
         // thief's top-read/bottom-read fence); `top` itself can then be
         // read Relaxed because the fence orders it.
+        // sc: chase-lev/owner-take
         fence(Ordering::SeqCst);
         let t = inner.top.load(Ordering::Relaxed);
 
@@ -298,6 +301,8 @@ impl<T: Send> Worker<T> {
             None
         }
     }
+
+    // ft-lint: hot-path end(deque-owner)
 
     /// Number of elements currently visible to the owner (approximate for
     /// outside observers, exact for the owner between operations).
@@ -351,6 +356,7 @@ impl<T: Send> Worker<T> {
 
 impl<T: Send> Stealer<T> {
     /// Attempt to steal one element from the top (FIFO).
+    // ft-lint: hot-path begin(deque-steal)
     pub fn steal(&self) -> Steal<T> {
         let inner = &*self.inner;
         // ord: Acquire on `top` (pairs with competing CAS publications),
@@ -359,6 +365,7 @@ impl<T: Send> Stealer<T> {
         // with the owner's Release fence in `push` so the slot write at
         // `t` is visible before we read it.
         let t = inner.top.load(Ordering::Acquire);
+        // sc: chase-lev/thief-steal
         fence(Ordering::SeqCst);
         let b = inner.bottom.load(Ordering::Acquire);
         if b.wrapping_sub(t) <= 0 {
@@ -386,6 +393,7 @@ impl<T: Send> Stealer<T> {
             Steal::Retry
         }
     }
+    // ft-lint: hot-path end(deque-steal)
 
     /// Approximate number of elements.
     pub fn len(&self) -> usize {

@@ -212,6 +212,7 @@ impl<T> Injector<T> {
     /// Push a value (MPMC producer side). Lock-free: one CAS on the tail
     /// index in the common case; the claimant of a block's last slot also
     /// installs the next block.
+    // ft-lint: hot-path begin(injector-push)
     pub fn push(&self, value: T) {
         loop {
             // ord: Acquire — pairs with the installer's Release stores of
@@ -274,9 +275,11 @@ impl<T> Injector<T> {
             return;
         }
     }
+    // ft-lint: hot-path end(injector-push)
 
     /// Claim up to `max` consecutive slots at the head. Returns the block,
     /// the first offset, and how many were claimed; `None` when empty.
+    // ft-lint: hot-path begin(injector-steal)
     fn claim(&self, max: usize) -> Option<(*mut Block<T>, usize, usize)> {
         loop {
             // ord: Acquire — pairs with the boundary-advancing consumer's
@@ -404,6 +407,7 @@ impl<T> Injector<T> {
         }
         Some(first)
     }
+    // ft-lint: hot-path end(injector-steal)
 
     /// True when no unclaimed values are visible.
     pub fn is_empty(&self) -> bool {
